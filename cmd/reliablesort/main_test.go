@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSortsStdin(t *testing.T) {
+	var out, errb bytes.Buffer
+	in := strings.NewReader("10 8 3 9 4 2 7 5")
+	if err := run(nil, in, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	want := "2\n3\n4\n5\n7\n8\n9\n10\n"
+	if out.String() != want {
+		t.Errorf("output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestSortsDescendingWithStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	in := strings.NewReader("1 5 3")
+	if err := run([]string{"-desc", "-stats"}, in, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "5\n3\n1\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "sorted 3 keys") {
+		t.Errorf("stats = %q", errb.String())
+	}
+}
+
+func TestSortsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.txt")
+	if err := os.WriteFile(path, []byte("4\n-2\n9\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{path}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "-2\n4\n9\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader("1 x 3"), &out, &errb); err == nil {
+		t.Error("garbage key: want error")
+	}
+	if err := run([]string{"a", "b"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("two files: want error")
+	}
+	if err := run([]string{"/nonexistent/file"}, strings.NewReader(""), &out, &errb); err == nil {
+		t.Error("missing file: want error")
+	}
+	if err := run([]string{"-dim", "99"}, strings.NewReader("1 2"), &out, &errb); err == nil {
+		t.Error("bad dim: want error")
+	}
+}

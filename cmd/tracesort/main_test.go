@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigure5Trace reproduces the paper's Figure 5 worked example end
+// to end and pins the per-stage verified sequences.
+func TestFigure5Trace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"sorting [10 8 3 9 4 2 7 5] on 8 nodes",
+		"SC[0..1]  LBS = [10 8]",
+		"SC[2..3]  LBS = [3 9]",
+		"SC[4..5]  LBS = [4 2]",
+		"SC[6..7]  LBS = [7 5]",
+		"SC[0..3]  LBS = [8 10 9 3]",
+		"SC[4..7]  LBS = [2 4 7 5]",
+		"SC[0..7]  LBS = [3 8 9 10 7 5 4 2]",
+		"LBS = [2 3 4 5 7 8 9 10]",
+		"Result across nodes 0..7: [2 3 4 5 7 8 9 10]",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DISAGREE") || strings.Contains(out, "ERROR") {
+		t.Errorf("honest trace reported trouble:\n%s", out)
+	}
+}
+
+func TestCustomKeys(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-keys", "4,3,2,1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Result across nodes 0..3: [1 2 3 4]") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-keys", "1,2,3"}, &buf); err == nil {
+		t.Error("non-power-of-two count: want error")
+	}
+	if err := run([]string{"-keys", "x"}, &buf); err == nil {
+		t.Error("garbage key: want error")
+	}
+	if err := run([]string{"-keys", ""}, &buf); err == nil {
+		t.Error("empty keys: want error")
+	}
+}

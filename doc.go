@@ -1,0 +1,14 @@
+// Package repro reproduces McMillin & Ni, "Reliable Distributed
+// Sorting Through the Application-Oriented Fault Tolerance Paradigm"
+// (ICDCS 1989): a fault-tolerant distributed bitonic sort for
+// hypercube multicomputers whose executable assertions (the constraint
+// predicate Φ_P/Φ_F/Φ_C) turn Byzantine components into a fail-stop
+// system.
+//
+// The implementation lives under internal/: see internal/core for the
+// fault-tolerant sort S_FT, internal/sortnr for the unreliable
+// baseline, internal/simnet for the simulated multicomputer, and
+// DESIGN.md for the full inventory. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; the
+// binaries under cmd/ render them as text.
+package repro

@@ -1,0 +1,44 @@
+// Library: the one-call convenience API. Everything the other examples
+// wire up by hand — cube sizing, padding to the power-of-two geometry,
+// distribution, the fault-tolerant block sort, end-to-end verification —
+// behind a single function that looks like sort.Slice but can never
+// silently lie.
+//
+//	go run ./examples/library
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/reliablesort"
+)
+
+func main() {
+	// An awkward, non-power-of-two workload.
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(100000) - 50000)
+	}
+
+	sorted, stats, err := reliablesort.Sort(keys, reliablesort.Options{})
+	if err != nil {
+		log.Fatal(err) // a *FaultError here means the sort fail-stopped
+	}
+	fmt.Printf("sorted %d keys: first=%d last=%d (monotonic: %v)\n",
+		len(sorted), sorted[0], sorted[len(sorted)-1],
+		reliablesort.IsSorted(sorted, reliablesort.Options{}))
+	fmt.Printf("geometry: %d nodes × %d keys/node, %d padding sentinels\n",
+		stats.Nodes, stats.BlockLen, stats.Padded)
+	fmt.Printf("cost: %d virtual ticks, %d messages, %d bytes\n",
+		stats.Makespan, stats.Msgs, stats.Bytes)
+
+	// Descending, forced onto a 3-cube.
+	desc, _, err := reliablesort.Sort(keys[:10], reliablesort.Options{Descending: true, Dim: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("descending head: %v\n", desc[:5])
+}

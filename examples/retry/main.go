@@ -1,0 +1,67 @@
+// Retry: what "reliable communication of diagnostic information is
+// provided to the system so that appropriate actions may be taken"
+// (the paper's §1) looks like in practice.
+//
+//	go run ./examples/retry
+//
+// A node suffers a *transient* Byzantine episode — a cosmic-ray bit
+// flip that corrupts its messages for one run. The constraint
+// predicate detects it and fail-stops; the host reads the diagnosis
+// (which node, which stage, which predicate) and takes the appropriate
+// action: re-run the sort. The episode has passed, the second run
+// verifies clean, and the caller never saw a wrong answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/simnet"
+)
+
+func main() {
+	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
+	const dim = 3
+
+	// The transient fault: active only on the first attempt.
+	episode := fault.Spec{
+		Node:          6,
+		Strategy:      fault.ViewLie,
+		ActivateStage: 1,
+		LieValue:      -404,
+	}
+
+	for attempt := 1; ; attempt++ {
+		nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 200 * time.Millisecond})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := make([]core.Options, 1<<dim)
+		if attempt == 1 {
+			opts[episode.Node] = core.Options{SkipChecks: true, Tamper: episode.Tamper()}
+		}
+		oc, err := core.RunWithOptions(nw, keys, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !oc.Detected() {
+			if err := checker.Verify(keys, oc.Sorted, true); err != nil {
+				log.Fatalf("undetected corruption — impossible under Theorem 3: %v", err)
+			}
+			fmt.Printf("attempt %d: verified result %v\n", attempt, oc.Sorted)
+			return
+		}
+		fmt.Printf("attempt %d: fail-stop. Diagnostics the host received:\n", attempt)
+		for _, he := range oc.HostErrors {
+			fmt.Printf("  node %d, stage %d: %s predicate — %s\n", he.Node, he.Stage, he.Predicate, he.Detail)
+		}
+		fmt.Println("  appropriate action: retry")
+		if attempt >= 3 {
+			log.Fatal("fault persisted across retries; escalating")
+		}
+	}
+}

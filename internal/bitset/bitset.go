@@ -1,0 +1,198 @@
+// Package bitset provides a compact, fixed-capacity bit set used to
+// track which entries of a bitonic-sequence view a node has collected
+// (the paper's lmask / vect_mask bit vectors). The paper stores these
+// masks in machine words, which caps the cube at word size; this
+// implementation removes that cap so simulations can exceed 64 nodes.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bit set over positions [0, Len()). The zero value is an
+// empty set of length 0; construct sized sets with New.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over positions [0, n). It panics if n is
+// negative (a programming error, not a runtime condition).
+func New(n int) Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set of length n with the given positions set.
+// It returns an error when a position is out of range.
+func FromIndices(n int, idxs []int) (Set, error) {
+	s := New(n)
+	for _, i := range idxs {
+		if i < 0 || i >= n {
+			return Set{}, fmt.Errorf("bitset: index %d out of range [0,%d)", i, n)
+		}
+		s.Add(i)
+	}
+	return s, nil
+}
+
+// Len returns the set's capacity (number of addressable positions).
+func (s Set) Len() int { return s.n }
+
+// Add sets bit i. Out-of-range positions panic: masks are always built
+// from validated subcube indices, so this indicates a logic bug.
+func (s Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i.
+func (s Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Has reports whether bit i is set. Positions outside [0, Len()) are
+// reported as unset rather than panicking, so callers can probe
+// uniformly across differently sized views.
+func (s Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith sets s = s ∪ o in place. The sets must have equal length.
+func (s Set) UnionWith(o Set) error {
+	if s.n != o.n {
+		return fmt.Errorf("bitset: union of mismatched lengths %d and %d", s.n, o.n)
+	}
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+	return nil
+}
+
+// IntersectWith sets s = s ∩ o in place. The sets must have equal length.
+func (s Set) IntersectWith(o Set) error {
+	if s.n != o.n {
+		return fmt.Errorf("bitset: intersect of mismatched lengths %d and %d", s.n, o.n)
+	}
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+	return nil
+}
+
+// Equal reports whether the two sets have the same length and members.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of s is also in o. The sets
+// must have equal length; mismatched lengths report false.
+func (s Set) SubsetOf(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the set bit positions in ascending order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Full reports whether every position is set.
+func (s Set) Full() bool { return s.Count() == s.n }
+
+// String renders the set as its bit pattern, LSB first, e.g. "1010".
+func (s Set) String() string {
+	var b strings.Builder
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Words returns a copy of the underlying word array (LSB-first), used
+// by the wire codec.
+func (s Set) Words() []uint64 {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return w
+}
+
+// FromWords reconstructs a set of length n from a word array produced
+// by Words. It returns an error when the word count does not match n
+// or when bits beyond n are set (a malformed or tampered encoding).
+func FromWords(n int, words []uint64) (Set, error) {
+	if n < 0 {
+		return Set{}, fmt.Errorf("bitset: negative length %d", n)
+	}
+	want := (n + wordBits - 1) / wordBits
+	if len(words) != want {
+		return Set{}, fmt.Errorf("bitset: %d words for length %d, want %d", len(words), n, want)
+	}
+	s := Set{n: n, words: make([]uint64, len(words))}
+	copy(s.words, words)
+	if rem := n % wordBits; rem != 0 && len(s.words) > 0 {
+		if s.words[len(s.words)-1]>>uint(rem) != 0 {
+			return Set{}, fmt.Errorf("bitset: bits set beyond length %d", n)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,230 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	s := New(130) // spans three words
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatalf("fresh set: Len=%d Count=%d", s.Len(), s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) = true after Remove")
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+}
+
+func TestHasOutOfRangeIsFalse(t *testing.T) {
+	s := New(10)
+	if s.Has(-1) || s.Has(10) || s.Has(1000) {
+		t.Error("out-of-range Has must be false")
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(10) on length-10 set did not panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromIndices(t *testing.T) {
+	s, err := FromIndices(8, []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "01010100" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if _, err := FromIndices(8, []int{8}); err == nil {
+		t.Error("FromIndices out of range: want error")
+	}
+	if _, err := FromIndices(8, []int{-1}); err == nil {
+		t.Error("FromIndices negative: want error")
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, _ := FromIndices(100, []int{1, 50, 99})
+	b, _ := FromIndices(100, []int{2, 50})
+	u := a.Clone()
+	if err := u.UnionWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Indices(); len(got) != 4 {
+		t.Fatalf("union indices = %v", got)
+	}
+	i := a.Clone()
+	if err := i.IntersectWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := i.Indices(); len(got) != 1 || got[0] != 50 {
+		t.Fatalf("intersect indices = %v", got)
+	}
+	if err := u.UnionWith(New(5)); err == nil {
+		t.Error("union mismatched lengths: want error")
+	}
+	if err := u.IntersectWith(New(5)); err == nil {
+		t.Error("intersect mismatched lengths: want error")
+	}
+}
+
+func TestEqualAndSubset(t *testing.T) {
+	a, _ := FromIndices(70, []int{0, 65})
+	b, _ := FromIndices(70, []int{0, 65})
+	c, _ := FromIndices(70, []int{0})
+	if !a.Equal(b) {
+		t.Error("a != b")
+	}
+	if a.Equal(c) {
+		t.Error("a == c")
+	}
+	if a.Equal(New(71)) {
+		t.Error("length-mismatched Equal must be false")
+	}
+	if !c.SubsetOf(a) {
+		t.Error("c ⊄ a")
+	}
+	if a.SubsetOf(c) {
+		t.Error("a ⊆ c")
+	}
+	if a.SubsetOf(New(71)) {
+		t.Error("length-mismatched SubsetOf must be false")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := FromIndices(10, []int{3})
+	b := a.Clone()
+	b.Add(4)
+	if a.Has(4) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestIndicesAndFull(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 5; i++ {
+		s.Add(i)
+	}
+	if !s.Full() {
+		t.Error("Full() = false on full set")
+	}
+	want := []int{0, 1, 2, 3, 4}
+	got := s.Indices()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v", got)
+		}
+	}
+	if New(3).Full() {
+		t.Error("empty set reported Full")
+	}
+	if !New(0).Full() {
+		t.Error("zero-length set should be trivially full")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+			}
+		}
+		back, err := FromWords(n, s.Words())
+		if err != nil {
+			t.Fatalf("n=%d FromWords: %v", n, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("n=%d round trip mismatch", n)
+		}
+	}
+}
+
+func TestFromWordsRejectsMalformed(t *testing.T) {
+	if _, err := FromWords(10, []uint64{0, 0}); err == nil {
+		t.Error("wrong word count: want error")
+	}
+	if _, err := FromWords(10, []uint64{1 << 10}); err == nil {
+		t.Error("bit beyond length: want error")
+	}
+	if _, err := FromWords(-1, nil); err == nil {
+		t.Error("negative length: want error")
+	}
+	if _, err := FromWords(64, []uint64{^uint64(0)}); err != nil {
+		t.Errorf("full final word at exact boundary should be valid: %v", err)
+	}
+}
+
+func TestUnionIsCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 128
+		a := New(n)
+		b := New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		ab := a.Clone()
+		_ = ab.UnionWith(b)
+		ba := b.Clone()
+		_ = ba.UnionWith(a)
+		return ab.Equal(ba) && a.SubsetOf(ab) && b.SubsetOf(ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMatchesIndicesProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		const n = 200
+		s := New(n)
+		for _, x := range xs {
+			s.Add(int(x) % n)
+		}
+		return s.Count() == len(s.Indices())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s, _ := FromIndices(4, []int{0, 3})
+	if s.String() != "1001" {
+		t.Errorf("String = %q, want 1001", s.String())
+	}
+}

@@ -1,0 +1,244 @@
+// Package blocksort implements the bitonic block sort/merge of the
+// paper's Section 5: each of the N nodes holds a block of m keys
+// instead of one. The message-exchange structure of the bitonic
+// schedule is preserved; each compare-exchange becomes a merge-split
+// of 2m keys, adding O(m + m log m) local work per step, and each of
+// the constraint predicates Φ scales by m. Figure 8 compares this
+// fault-tolerant block sort against host sorting.
+//
+// Both the unreliable (NR) and fault-tolerant (FT) variants are
+// provided. The FT variant reuses the core package's predicates and
+// vect_mask knowledge schedule, with views carrying whole blocks.
+package blocksort
+
+import (
+	"fmt"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Options tunes one node's program; the zero value is honest.
+type Options struct {
+	// Tamper intercepts outgoing messages (Byzantine processor); nil
+	// for honest nodes. Returning nil drops the message.
+	Tamper func(m *wire.Message) *wire.Message
+	// SkipChecks disables the node's own assertions (used together
+	// with Tamper for malicious nodes).
+	SkipChecks bool
+}
+
+// RunNR executes the unreliable block bitonic sort: blocks[id] is node
+// id's initial block (all equal length). The returned blocks form the
+// globally sorted ascending sequence when concatenated in node order.
+func RunNR(nw transport.Network, blocks [][]int64) ([][]int64, *node.Result, error) {
+	if err := validateBlocks(nw, blocks); err != nil {
+		return nil, nil, err
+	}
+	n := nw.Topology().Nodes()
+	out := make([][]int64, n)
+	progs := make([]node.Program, n)
+	for id := 0; id < n; id++ {
+		progs[id] = nodeProgramNR(blocks[id], &out[id])
+	}
+	res, err := node.RunPer(nw, progs, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blocksort: %w", err)
+	}
+	return out, res, nil
+}
+
+// Outcome aggregates an FT block-sort run, mirroring core.Outcome.
+type Outcome struct {
+	// SortedBlocks is the per-node output; trust it only when
+	// Detected() is false.
+	SortedBlocks [][]int64
+	// Result carries per-node errors and clocks.
+	Result *node.Result
+	// HostErrors are the drained ERROR diagnostics.
+	HostErrors []core.HostError
+}
+
+// Detected reports whether any fault was detected.
+func (o *Outcome) Detected() bool {
+	if len(o.HostErrors) > 0 {
+		return true
+	}
+	return o.Result.AnyErr() != nil
+}
+
+// RunFT executes the fault-tolerant block bitonic sort.
+func RunFT(nw transport.Network, blocks [][]int64) (*Outcome, error) {
+	return RunFTWithOptions(nw, blocks, nil)
+}
+
+// RunFTWithOptions executes the fault-tolerant block sort with
+// per-node options (nil means all honest).
+func RunFTWithOptions(nw transport.Network, blocks [][]int64, opts []Options) (*Outcome, error) {
+	if err := validateBlocks(nw, blocks); err != nil {
+		return nil, err
+	}
+	n := nw.Topology().Nodes()
+	if opts == nil {
+		opts = make([]Options, n)
+	}
+	if len(opts) != n {
+		return nil, fmt.Errorf("blocksort: %d option sets for %d nodes", len(opts), n)
+	}
+	out := make([][]int64, n)
+	progs := make([]node.Program, n)
+	for id := 0; id < n; id++ {
+		progs[id] = nodeProgramFT(blocks[id], &out[id], opts[id])
+	}
+	res, err := node.RunPer(nw, progs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("blocksort: %w", err)
+	}
+	oc := &Outcome{SortedBlocks: out, Result: res}
+	oc.HostErrors = drainHostErrors(nw)
+	return oc, nil
+}
+
+func validateBlocks(nw transport.Network, blocks [][]int64) error {
+	n := nw.Topology().Nodes()
+	if len(blocks) != n {
+		return fmt.Errorf("blocksort: %d blocks for %d nodes", len(blocks), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	m := len(blocks[0])
+	if m == 0 {
+		return fmt.Errorf("blocksort: empty blocks")
+	}
+	for i, b := range blocks {
+		if len(b) != m {
+			return fmt.Errorf("blocksort: block %d has %d keys, want %d", i, len(b), m)
+		}
+	}
+	return nil
+}
+
+// localSort sorts a block ascending in place and charges the endpoint
+// the comparison cost.
+func localSort(ep transport.Endpoint, b []int64) error {
+	sorted, compares := bitonic.MergeSortCount(b)
+	copy(b, sorted)
+	ep.ChargeCompare(compares)
+	ep.ChargeKeyMove(len(b))
+	return nil
+}
+
+// nodeProgramNR is the unreliable block sort: local sort, then the
+// bitonic schedule with merge-split exchanges.
+func nodeProgramNR(block []int64, out *[]int64) node.Program {
+	return func(ep transport.Endpoint) error {
+		id := ep.ID()
+		n := ep.Topology().Dim()
+		mine := append([]int64{}, block...)
+		if err := localSort(ep, mine); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j >= 0; j-- {
+				var err error
+				mine, err = exchangeNR(ep, mine, i, j)
+				if err != nil {
+					return fmt.Errorf("blocksort: node %d stage %d iter %d: %w", id, i, j, err)
+				}
+			}
+		}
+		*out = mine
+		return nil
+	}
+}
+
+func exchangeNR(ep transport.Endpoint, mine []int64, i, j int) ([]int64, error) {
+	id := ep.ID()
+	ascending := ep.Topology().Ascending(i, id)
+
+	if hypercube.Active(id, j) {
+		got, err := ep.Recv(j)
+		if err != nil {
+			return nil, err
+		}
+		p, err := wire.DecodeExchange(got.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Keys) != len(mine) {
+			return nil, fmt.Errorf("partner block %d keys, want %d", len(p.Keys), len(mine))
+		}
+		lo, hi, compares, err := bitonic.MergeSplit(mine, p.Keys)
+		if err != nil {
+			return nil, err
+		}
+		ep.ChargeCompare(compares)
+		ep.ChargeKeyMove(2 * len(mine))
+		keep, give := lo, hi
+		if !ascending {
+			keep, give = hi, lo
+		}
+		reply := wire.Message{
+			Kind:    wire.KindExchange,
+			Stage:   int32(i),
+			Iter:    int32(j),
+			Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: give}),
+		}
+		if err := ep.Send(j, reply); err != nil {
+			return nil, err
+		}
+		return keep, nil
+	}
+
+	msg := wire.Message{
+		Kind:    wire.KindExchange,
+		Stage:   int32(i),
+		Iter:    int32(j),
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: mine}),
+	}
+	if err := ep.Send(j, msg); err != nil {
+		return nil, err
+	}
+	got, err := ep.Recv(j)
+	if err != nil {
+		return nil, err
+	}
+	p, err := wire.DecodeExchange(got.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Keys) != len(mine) {
+		return nil, fmt.Errorf("returned block %d keys, want %d", len(p.Keys), len(mine))
+	}
+	return p.Keys, nil
+}
+
+func drainHostErrors(nw transport.Network) []core.HostError {
+	h := nw.Host()
+	var out []core.HostError
+	for {
+		m, ok, err := h.TryRecv()
+		if err != nil || !ok {
+			return out
+		}
+		if m.Kind != wire.KindError {
+			continue
+		}
+		p, err := wire.DecodeError(m.Payload)
+		if err != nil {
+			continue
+		}
+		out = append(out, core.HostError{
+			Node:      int(m.From),
+			Stage:     int(m.Stage),
+			Iter:      int(m.Iter),
+			Predicate: p.Predicate,
+			Detail:    p.Detail,
+		})
+	}
+}

@@ -1,0 +1,308 @@
+package blocksort
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/hypercube"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func newNet(t testing.TB, dim int) *simnet.Network {
+	t.Helper()
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func newFaultNet(t testing.TB, dim int) *simnet.Network {
+	t.Helper()
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func randomBlocks(rng *rand.Rand, n, m, span int) ([][]int64, []int64) {
+	blocks := make([][]int64, n)
+	var all []int64
+	for i := range blocks {
+		blocks[i] = make([]int64, m)
+		for j := range blocks[i] {
+			blocks[i][j] = int64(rng.Intn(span) - span/2)
+		}
+		all = append(all, blocks[i]...)
+	}
+	return blocks, all
+}
+
+func flatten(blocks [][]int64) []int64 {
+	var out []int64
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestRunNRSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct{ dim, m int }{
+		{0, 4}, {1, 1}, {1, 4}, {2, 3}, {3, 8}, {4, 5},
+	} {
+		blocks, all := randomBlocks(rng, 1<<uint(tc.dim), tc.m, 200)
+		nw := newNet(t, tc.dim)
+		out, res, err := RunNR(nw, blocks)
+		if err != nil {
+			t.Fatalf("dim=%d m=%d: %v", tc.dim, tc.m, err)
+		}
+		if err := res.AnyErr(); err != nil {
+			t.Fatalf("dim=%d m=%d: %v", tc.dim, tc.m, err)
+		}
+		if err := checker.Verify(all, flatten(out), true); err != nil {
+			t.Fatalf("dim=%d m=%d: %v", tc.dim, tc.m, err)
+		}
+	}
+}
+
+func TestRunFTSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tc := range []struct{ dim, m int }{
+		{0, 4}, {1, 3}, {2, 4}, {3, 4}, {4, 2},
+	} {
+		blocks, all := randomBlocks(rng, 1<<uint(tc.dim), tc.m, 100)
+		nw := newNet(t, tc.dim)
+		oc, err := RunFT(nw, blocks)
+		if err != nil {
+			t.Fatalf("dim=%d m=%d: %v", tc.dim, tc.m, err)
+		}
+		if oc.Detected() {
+			t.Fatalf("dim=%d m=%d: spurious detection: %v %v",
+				tc.dim, tc.m, oc.Result.FirstNodeErr(), oc.HostErrors)
+		}
+		if err := checker.Verify(all, flatten(oc.SortedBlocks), true); err != nil {
+			t.Fatalf("dim=%d m=%d: %v (out=%v)", tc.dim, tc.m, err, oc.SortedBlocks)
+		}
+	}
+}
+
+func TestRunFTDuplicateHeavy(t *testing.T) {
+	blocks := [][]int64{{5, 5, 5}, {5, 5, 5}, {1, 5, 1}, {5, 1, 5}}
+	all := flatten(blocks)
+	oc, err := RunFT(newNet(t, 2), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Detected() {
+		t.Fatalf("spurious detection: %v", oc.HostErrors)
+	}
+	if err := checker.Verify(all, flatten(oc.SortedBlocks), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	nw := newNet(t, 1)
+	if _, _, err := RunNR(nw, [][]int64{{1}}); err == nil {
+		t.Error("wrong block count: want error")
+	}
+	if _, _, err := RunNR(nw, [][]int64{{1}, {2, 3}}); err == nil {
+		t.Error("ragged blocks: want error")
+	}
+	if _, _, err := RunNR(nw, [][]int64{{}, {}}); err == nil {
+		t.Error("empty blocks: want error")
+	}
+	if _, err := RunFTWithOptions(nw, [][]int64{{1}, {2}}, make([]Options, 1)); err == nil {
+		t.Error("wrong option count: want error")
+	}
+}
+
+func TestProgressBlocks(t *testing.T) {
+	tests := []struct {
+		name    string
+		blocks  [][]int64
+		final   bool
+		wantErr bool
+	}{
+		{"final sorted", [][]int64{{1, 2}, {3, 4}}, true, false},
+		{"final unsorted boundary", [][]int64{{1, 5}, {3, 4}}, true, true},
+		{"block internally unsorted", [][]int64{{2, 1}, {3, 4}}, true, true},
+		{"stage canonical", [][]int64{{1, 2}, {3, 4}, {9, 10}, {5, 6}}, false, false},
+		{"stage lower broken", [][]int64{{3, 4}, {1, 2}, {9, 10}, {5, 6}}, false, true},
+		{"stage upper broken", [][]int64{{1, 2}, {3, 4}, {5, 6}, {9, 10}}, false, true},
+		{"odd count", [][]int64{{1}, {2}, {3}}, false, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ProgressBlocks(tc.blocks, tc.final)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ProgressBlocks(%v, final=%v) = %v, wantErr %v", tc.blocks, tc.final, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFTMessageCountMatchesNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dim, m := 3, 4
+	n := 1 << uint(dim)
+	blocks, _ := randomBlocks(rng, n, m, 100)
+
+	nwNR := newNet(t, dim)
+	_, resNR, err := RunNR(nwNR, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwFT := newNet(t, dim)
+	oc, err := RunFT(nwFT, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrMsgs := resNR.Metrics.MsgsByKind[wire.KindExchange]
+	ftMsgs := oc.Result.Metrics.MsgsByKind[wire.KindFTExchange]
+	if nrMsgs != ftMsgs {
+		t.Errorf("main-loop messages: NR %d vs FT %d (must match)", nrMsgs, ftMsgs)
+	}
+	nrBytes := resNR.Metrics.BytesByKind[wire.KindExchange]
+	ftBytes := oc.Result.Metrics.BytesByKind[wire.KindFTExchange]
+	if ftBytes <= nrBytes {
+		t.Errorf("FT bytes %d not larger than NR bytes %d", ftBytes, nrBytes)
+	}
+}
+
+func TestFTByzantineBlockLieDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	dim, m := 3, 4
+	n := 1 << uint(dim)
+	blocks, _ := randomBlocks(rng, n, m, 50)
+	opts := make([]Options, n)
+	opts[4] = Options{SkipChecks: true, Tamper: func(msg *wire.Message) *wire.Message {
+		if msg.Kind != wire.KindFTExchange || msg.Stage < 1 {
+			return msg
+		}
+		p, err := wire.DecodeFTExchange(msg.Payload)
+		if err != nil || len(p.Keys) == 0 {
+			return msg
+		}
+		p.Keys[0] = 7777
+		buf, err := wire.EncodeFTExchange(p)
+		if err != nil {
+			return msg
+		}
+		msg.Payload = buf
+		return msg
+	}}
+	oc, err := RunFTWithOptions(newFaultNet(t, dim), blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oc.Detected() {
+		t.Fatalf("block key lie went undetected; out=%v", oc.SortedBlocks)
+	}
+}
+
+func TestFTByzantineViewLieDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	dim, m := 2, 3
+	n := 1 << uint(dim)
+	blocks, _ := randomBlocks(rng, n, m, 50)
+	opts := make([]Options, n)
+	opts[1] = Options{SkipChecks: true, Tamper: func(msg *wire.Message) *wire.Message {
+		if msg.Kind != wire.KindFTExchange || msg.Stage < 1 {
+			return msg
+		}
+		p, err := wire.DecodeFTExchange(msg.Payload)
+		if err != nil || len(p.View.Vals) == 0 {
+			return msg
+		}
+		p.View.Vals[0] = -9999
+		buf, err := wire.EncodeFTExchange(p)
+		if err != nil {
+			return msg
+		}
+		msg.Payload = buf
+		return msg
+	}}
+	oc, err := RunFTWithOptions(newFaultNet(t, dim), blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oc.Detected() {
+		t.Fatal("block view lie went undetected")
+	}
+}
+
+func TestFTNeverSilentlyWrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	dim, m := 2, 3
+	n := 1 << uint(dim)
+	for trial := 0; trial < 10; trial++ {
+		blocks, all := randomBlocks(rng, n, m, 30)
+		faulty := rng.Intn(n)
+		lie := int64(rng.Intn(500) - 250)
+		opts := make([]Options, n)
+		opts[faulty] = Options{SkipChecks: true, Tamper: func(msg *wire.Message) *wire.Message {
+			if msg.Kind != wire.KindFTExchange || msg.Stage < 1 {
+				return msg
+			}
+			p, err := wire.DecodeFTExchange(msg.Payload)
+			if err != nil || len(p.Keys) == 0 {
+				return msg
+			}
+			for i := range p.Keys {
+				p.Keys[i] = lie
+			}
+			buf, err := wire.EncodeFTExchange(p)
+			if err != nil {
+				return msg
+			}
+			msg.Payload = buf
+			return msg
+		}}
+		oc, err := RunFTWithOptions(newFaultNet(t, dim), blocks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !oc.Detected() {
+			if verr := checker.Verify(all, flatten(oc.SortedBlocks), true); verr != nil {
+				t.Fatalf("trial %d: silent wrong output (faulty=%d lie=%d): %v",
+					trial, faulty, lie, verr)
+			}
+		}
+	}
+}
+
+func TestBlockViewFlattenHelpers(t *testing.T) {
+	topo := hypercube.MustNew(2)
+	sc, err := topo.HomeSubcube(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv := newBlockView(sc, 2)
+	bv.set(0, []int64{1, 2})
+	bv.set(1, []int64{3, 4})
+	bv.set(2, []int64{5, 6})
+	bv.set(3, []int64{7, 8})
+	got := bv.flatten(0, 4)
+	want := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flatten = %v", got)
+		}
+	}
+	rev := bv.flattenReversed(2, 4)
+	wantRev := []int64{7, 8, 5, 6}
+	for i := range wantRev {
+		if rev[i] != wantRev[i] {
+			t.Fatalf("flattenReversed = %v", rev)
+		}
+	}
+	if !bv.complete() {
+		t.Error("complete() = false on full view")
+	}
+}

@@ -1,0 +1,547 @@
+package blocksort
+
+import (
+	"fmt"
+
+	"repro/internal/bitonic"
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// blockView is the block-sorting analogue of the core package's
+// gathered LBS: one sorted block per subcube slot plus the knowledge
+// mask.
+type blockView struct {
+	sc     hypercube.Subcube
+	m      int
+	have   bitset.Set
+	blocks [][]int64
+}
+
+func newBlockView(sc hypercube.Subcube, m int) *blockView {
+	return &blockView{
+		sc:     sc,
+		m:      m,
+		have:   bitset.New(sc.Size()),
+		blocks: make([][]int64, sc.Size()),
+	}
+}
+
+func (g *blockView) set(nodeLabel int, b []int64) {
+	idx := nodeLabel - g.sc.Start
+	g.have.Add(idx)
+	g.blocks[idx] = append([]int64{}, b...)
+}
+
+func (g *blockView) complete() bool { return g.have.Full() }
+
+// flatten concatenates the blocks of the slot range [lo, hi) in slot
+// order; valid only when those slots are known.
+func (g *blockView) flatten(lo, hi int) []int64 {
+	out := make([]int64, 0, (hi-lo)*g.m)
+	for i := lo; i < hi; i++ {
+		out = append(out, g.blocks[i]...)
+	}
+	return out
+}
+
+// flattenReversed concatenates blocks in reverse slot order (each
+// block kept in its internal ascending order).
+func (g *blockView) flattenReversed(lo, hi int) []int64 {
+	out := make([]int64, 0, (hi-lo)*g.m)
+	for i := hi - 1; i >= lo; i-- {
+		out = append(out, g.blocks[i]...)
+	}
+	return out
+}
+
+func (g *blockView) wireView() wire.View {
+	vals := make([]int64, 0, g.have.Count()*g.m)
+	for _, idx := range g.have.Indices() {
+		vals = append(vals, g.blocks[idx]...)
+	}
+	return wire.View{
+		Base:     int32(g.sc.Start),
+		Size:     int32(g.sc.Size()),
+		BlockLen: int32(g.m),
+		Mask:     g.have.Clone(),
+		Vals:     vals,
+	}
+}
+
+// mergeChecked is Φ_C for blocks: the sender's mask must match the
+// vect_mask prediction, and any block we already hold must be
+// identical key-for-key to the relayed copy.
+func (g *blockView) mergeChecked(rv wire.View, expected bitset.Set) error {
+	if err := rv.Validate(); err != nil {
+		return fmt.Errorf("malformed view: %w", err)
+	}
+	if int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() || int(rv.BlockLen) != g.m {
+		return fmt.Errorf("view geometry [%d,+%d)x%d does not match subcube %v x%d",
+			rv.Base, rv.Size, rv.BlockLen, g.sc, g.m)
+	}
+	if !rv.Mask.Equal(expected) {
+		return fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
+	}
+	for i, idx := range rv.Mask.Indices() {
+		b := rv.Block(i)
+		if g.have.Has(idx) {
+			for k := range b {
+				if g.blocks[idx][k] != b[k] {
+					return fmt.Errorf("slot %d (node %d) key %d: held copy %d disagrees with relayed copy %d",
+						idx, g.sc.Start+idx, k, g.blocks[idx][k], b[k])
+				}
+			}
+			continue
+		}
+		g.have.Add(idx)
+		g.blocks[idx] = append([]int64{}, b...)
+	}
+	return nil
+}
+
+func (g *blockView) mergeLenient(rv wire.View) {
+	if rv.Validate() != nil || int(rv.Base) != g.sc.Start ||
+		int(rv.Size) != g.sc.Size() || int(rv.BlockLen) != g.m {
+		return
+	}
+	for i, idx := range rv.Mask.Indices() {
+		if !g.have.Has(idx) {
+			g.have.Add(idx)
+			g.blocks[idx] = append([]int64{}, rv.Block(i)...)
+		}
+	}
+}
+
+// ProgressBlocks is Φ_P scaled by m: each block must be internally
+// ascending; for a regular stage the lower half's node-order
+// concatenation and the upper half's reverse-node-order concatenation
+// must both be globally ascending; at the final verification the whole
+// node-order concatenation must be ascending.
+func ProgressBlocks(blocks [][]int64, final bool) error {
+	for i, b := range blocks {
+		if !bitonic.IsSorted(b, true) {
+			return fmt.Errorf("block %d not internally sorted: %w", i, core.ErrProgress)
+		}
+	}
+	flat := func(lo, hi int, rev bool) []int64 {
+		var out []int64
+		if rev {
+			for i := hi - 1; i >= lo; i-- {
+				out = append(out, blocks[i]...)
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				out = append(out, blocks[i]...)
+			}
+		}
+		return out
+	}
+	if final {
+		if !bitonic.IsSorted(flat(0, len(blocks), false), true) {
+			return fmt.Errorf("final block concatenation not ascending: %w", core.ErrProgress)
+		}
+		return nil
+	}
+	if len(blocks)%2 != 0 {
+		return fmt.Errorf("odd block count %d: %w", len(blocks), core.ErrProgress)
+	}
+	half := len(blocks) / 2
+	if !bitonic.IsSorted(flat(0, half, false), true) {
+		return fmt.Errorf("lower half block concatenation not ascending: %w", core.ErrProgress)
+	}
+	if !bitonic.IsSorted(flat(half, len(blocks), true), true) {
+		return fmt.Errorf("upper half reverse concatenation not ascending: %w", core.ErrProgress)
+	}
+	return nil
+}
+
+// nodeProgramFT is the fault-tolerant block sort node program.
+func nodeProgramFT(block []int64, out *[]int64, opts Options) node.Program {
+	return func(ep transport.Endpoint) error {
+		r := &ftRunner{ep: ep, opts: opts, m: len(block)}
+		b, err := r.run(block)
+		if err != nil {
+			return err
+		}
+		*out = b
+		return nil
+	}
+}
+
+type ftRunner struct {
+	ep   transport.Endpoint
+	opts Options
+	m    int
+}
+
+func (r *ftRunner) fail(kind error, stage, iter int, format string, args ...any) error {
+	pe := &core.PredicateError{
+		Node:   r.ep.ID(),
+		Stage:  stage,
+		Iter:   iter,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	_ = r.ep.SendHost(wire.Message{
+		Kind:  wire.KindError,
+		Stage: int32(stage),
+		Iter:  int32(iter),
+		Payload: wire.EncodeError(wire.ErrorPayload{
+			Predicate: core.PredicateName(kind),
+			Detail:    pe.Detail,
+		}),
+	})
+	return pe
+}
+
+func (r *ftRunner) run(block []int64) ([]int64, error) {
+	id := r.ep.ID()
+	topo := r.ep.Topology()
+	n := topo.Dim()
+	mine := append([]int64{}, block...)
+	if err := localSort(r.ep, mine); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return mine, nil
+	}
+
+	var prevFlat []int64 // verified previous sequence, flattened (LLBS · m)
+	var prevSC hypercube.Subcube
+
+	for s := 0; s < n; s++ {
+		sc, err := topo.HomeSubcube(s+1, id)
+		if err != nil {
+			return nil, fmt.Errorf("blocksort: %w", err)
+		}
+		view := newBlockView(sc, r.m)
+		view.set(id, mine)
+		for j := s; j >= 0; j-- {
+			mine, err = r.exchange(view, mine, s, j)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !view.complete() && !r.opts.SkipChecks {
+			return nil, r.fail(core.ErrConsistency, s, -1,
+				"stage gather incomplete: mask %s", view.have.String())
+		}
+		if s > 0 && !r.opts.SkipChecks {
+			assembled := make([][]int64, sc.Size())
+			copy(assembled, view.blocks)
+			r.ep.ChargeCompare(sc.Size() * r.m)
+			if err := ProgressBlocks(assembled, false); err != nil {
+				return nil, r.fail(core.ErrProgress, s, -1, "%v", err)
+			}
+			lo := prevSC.Start - sc.Start
+			myHalf := view.flatten(lo, lo+prevSC.Size())
+			r.ep.ChargeCompare(2 * len(prevFlat))
+			if err := core.Feasibility(prevFlat, myHalf); err != nil {
+				return nil, r.fail(core.ErrFeasibility, s, -1, "%v", err)
+			}
+		}
+		prevFlat = view.flatten(0, sc.Size())
+		r.ep.ChargeKeyMove(len(prevFlat))
+		prevSC = sc
+	}
+
+	// Final verification round.
+	scAll, err := topo.HomeSubcube(n, id)
+	if err != nil {
+		return nil, fmt.Errorf("blocksort: %w", err)
+	}
+	view := newBlockView(scAll, r.m)
+	view.set(id, mine)
+	for j := n - 1; j >= 0; j-- {
+		if err := r.verifyExchange(view, n-1, j); err != nil {
+			return nil, err
+		}
+	}
+	if !view.complete() && !r.opts.SkipChecks {
+		return nil, r.fail(core.ErrConsistency, n, -1,
+			"final gather incomplete: mask %s", view.have.String())
+	}
+	if !r.opts.SkipChecks {
+		finalBlocks := make([][]int64, scAll.Size())
+		copy(finalBlocks, view.blocks)
+		r.ep.ChargeCompare(scAll.Size() * r.m)
+		if err := ProgressBlocks(finalBlocks, true); err != nil {
+			return nil, r.fail(core.ErrProgress, n, -1, "%v", err)
+		}
+		r.ep.ChargeCompare(2 * len(prevFlat))
+		if err := core.Feasibility(prevFlat, view.flatten(0, scAll.Size())); err != nil {
+			return nil, r.fail(core.ErrFeasibility, n, -1, "%v", err)
+		}
+	}
+	return mine, nil
+}
+
+func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, error) {
+	id := r.ep.ID()
+	topo := r.ep.Topology()
+	partner, err := topo.Partner(id, j)
+	if err != nil {
+		return nil, fmt.Errorf("blocksort: %w", err)
+	}
+	ascending := topo.Ascending(s, id)
+
+	if hypercube.Active(id, j) {
+		m, ok, err := r.recvChecked(j, wire.KindFTExchange, s, j, partner)
+		if err != nil {
+			return nil, err
+		}
+		theirs := mine // degenerate fallback for SkipChecks nodes
+		if ok {
+			p, derr := wire.DecodeFTExchange(m.Payload)
+			switch {
+			case derr != nil && r.opts.SkipChecks:
+			case derr != nil:
+				return nil, r.fail(core.ErrProtocol, s, j, "undecodable exchange from %d: %v", partner, derr)
+			case len(p.Keys) != r.m && !r.opts.SkipChecks:
+				return nil, r.fail(core.ErrProtocol, s, j, "expected %d keys from %d, got %d", r.m, partner, len(p.Keys))
+			default:
+				if len(p.Keys) == r.m {
+					theirs = p.Keys
+				}
+				if err := r.mergeView(view, p.View, s, j, partner, false); err != nil {
+					return nil, err
+				}
+				if !r.opts.SkipChecks && !bitonic.IsSorted(theirs, true) {
+					return nil, r.fail(core.ErrProtocol, s, j, "block from %d not sorted", partner)
+				}
+			}
+		}
+		lo, hi, compares, merr := bitonic.MergeSplit(mine, theirs)
+		if merr != nil {
+			return nil, fmt.Errorf("blocksort: %w", merr)
+		}
+		r.ep.ChargeCompare(compares)
+		r.ep.ChargeKeyMove(2 * r.m)
+		keep, give := lo, hi
+		if !ascending {
+			keep, give = hi, lo
+		}
+		keys := make([]int64, 0, 2*r.m)
+		keys = append(keys, keep...)
+		keys = append(keys, give...)
+		if err := r.send(j, wire.Message{
+			Kind:  wire.KindFTExchange,
+			Stage: int32(s),
+			Iter:  int32(j),
+		}, wire.FTExchangePayload{Keys: keys, View: view.wireView()}); err != nil {
+			return nil, err
+		}
+		return keep, nil
+	}
+
+	// Passive side.
+	if err := r.send(j, wire.Message{
+		Kind:  wire.KindFTExchange,
+		Stage: int32(s),
+		Iter:  int32(j),
+	}, wire.FTExchangePayload{Keys: mine, View: view.wireView()}); err != nil {
+		return nil, err
+	}
+	m, ok, err := r.recvChecked(j, wire.KindFTExchange, s, j, partner)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return mine, nil
+	}
+	p, derr := wire.DecodeFTExchange(m.Payload)
+	if derr != nil {
+		if r.opts.SkipChecks {
+			return mine, nil
+		}
+		return nil, r.fail(core.ErrProtocol, s, j, "undecodable exchange from %d: %v", partner, derr)
+	}
+	if len(p.Keys) != 2*r.m {
+		if r.opts.SkipChecks {
+			return mine, nil
+		}
+		return nil, r.fail(core.ErrProtocol, s, j, "expected %d keys from %d, got %d", 2*r.m, partner, len(p.Keys))
+	}
+	if err := r.mergeView(view, p.View, s, j, partner, true); err != nil {
+		return nil, err
+	}
+	keep, give := p.Keys[:r.m], p.Keys[r.m:]
+	if !r.opts.SkipChecks {
+		if !bitonic.IsSorted(keep, true) || !bitonic.IsSorted(give, true) {
+			return nil, r.fail(core.ErrProtocol, s, j, "merge-split reply from %d has unsorted halves", partner)
+		}
+		if ascending && keep[r.m-1] > give[0] {
+			return nil, r.fail(core.ErrProtocol, s, j,
+				"ascending merge-split reply from %d misordered (%d > %d)", partner, keep[r.m-1], give[0])
+		}
+		if !ascending && keep[0] < give[r.m-1] {
+			return nil, r.fail(core.ErrProtocol, s, j,
+				"descending merge-split reply from %d misordered (%d < %d)", partner, keep[0], give[r.m-1])
+		}
+		// At the stage's first iteration both input blocks are known
+		// (the partner's is its seeded view entry), so the whole
+		// merge-split is verifiable.
+		if j == s {
+			if idx := partner - view.sc.Start; view.have.Has(idx) {
+				wantLo, wantHi, _, merr := bitonic.MergeSplit(mine, view.blocks[idx])
+				if merr == nil {
+					wantKeep, wantGive := wantLo, wantHi
+					if !ascending {
+						wantKeep, wantGive = wantHi, wantLo
+					}
+					if !equalKeys(keep, wantKeep) || !equalKeys(give, wantGive) {
+						return nil, r.fail(core.ErrProtocol, s, j,
+							"merge-split by %d returned wrong halves", partner)
+					}
+				}
+			}
+		}
+	}
+	return give, nil
+}
+
+func equalKeys(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
+	id := r.ep.ID()
+	partner, err := r.ep.Topology().Partner(id, j)
+	if err != nil {
+		return fmt.Errorf("blocksort: %w", err)
+	}
+	stageLabel := s + 1
+
+	if hypercube.Active(id, j) {
+		m, ok, err := r.recvChecked(j, wire.KindVerify, stageLabel, j, partner)
+		if err != nil {
+			return err
+		}
+		if ok {
+			p, derr := wire.DecodeVerify(m.Payload)
+			if derr != nil && !r.opts.SkipChecks {
+				return r.fail(core.ErrProtocol, stageLabel, j, "undecodable verify from %d: %v", partner, derr)
+			}
+			if derr == nil {
+				if err := r.mergeView(view, p.View, s, j, partner, false); err != nil {
+					return err
+				}
+			}
+		}
+		return r.send(j, wire.Message{
+			Kind:  wire.KindVerify,
+			Stage: int32(stageLabel),
+			Iter:  int32(j),
+		}, wire.VerifyPayload{View: view.wireView()})
+	}
+
+	if err := r.send(j, wire.Message{
+		Kind:  wire.KindVerify,
+		Stage: int32(stageLabel),
+		Iter:  int32(j),
+	}, wire.VerifyPayload{View: view.wireView()}); err != nil {
+		return err
+	}
+	m, ok, err := r.recvChecked(j, wire.KindVerify, stageLabel, j, partner)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	p, derr := wire.DecodeVerify(m.Payload)
+	if derr != nil {
+		if r.opts.SkipChecks {
+			return nil
+		}
+		return r.fail(core.ErrProtocol, stageLabel, j, "undecodable verify from %d: %v", partner, derr)
+	}
+	return r.mergeView(view, p.View, s, j, partner, true)
+}
+
+func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, postExchange bool) error {
+	r.ep.ChargeCompare(rv.Mask.Count() * int(rv.BlockLen))
+	if r.opts.SkipChecks {
+		view.mergeLenient(rv)
+		return nil
+	}
+	var expected bitset.Set
+	var err error
+	if postExchange {
+		expected, err = core.VectMask(s, j, sender, view.sc)
+	} else {
+		expected, err = core.VectMaskBefore(s, j, sender, view.sc)
+	}
+	if err != nil {
+		return fmt.Errorf("blocksort: %w", err)
+	}
+	if merr := view.mergeChecked(rv, expected); merr != nil {
+		return r.fail(core.ErrConsistency, s, j, "view from %d: %v", sender, merr)
+	}
+	return nil
+}
+
+func (r *ftRunner) recvChecked(bit int, kind wire.Kind, stage, iter, partner int) (wire.Message, bool, error) {
+	m, err := r.ep.Recv(bit)
+	if err != nil {
+		if r.opts.SkipChecks {
+			return wire.Message{}, false, nil
+		}
+		return wire.Message{}, false, r.fail(core.ErrProtocol, stage, iter, "receive from %d: %v", partner, err)
+	}
+	if m.Kind != kind || int(m.Stage) != stage || int(m.Iter) != iter ||
+		int(m.From) != partner || int(m.To) != r.ep.ID() {
+		if r.opts.SkipChecks {
+			return wire.Message{}, false, nil
+		}
+		return wire.Message{}, false, r.fail(core.ErrProtocol, stage, iter,
+			"unexpected header kind=%v stage=%d iter=%d from=%d (want kind=%v stage=%d iter=%d from=%d)",
+			m.Kind, m.Stage, m.Iter, m.From, kind, stage, iter, partner)
+	}
+	return m, true, nil
+}
+
+func (r *ftRunner) send(bit int, m wire.Message, payload any) error {
+	var err error
+	switch p := payload.(type) {
+	case wire.FTExchangePayload:
+		m.Payload, err = wire.EncodeFTExchange(p)
+	case wire.VerifyPayload:
+		m.Payload, err = wire.EncodeVerify(p)
+	default:
+		err = fmt.Errorf("blocksort: unsupported payload type %T", payload)
+	}
+	if err != nil {
+		return fmt.Errorf("blocksort: encode: %w", err)
+	}
+	if r.opts.Tamper != nil {
+		partner, perr := r.ep.Topology().Partner(r.ep.ID(), bit)
+		if perr != nil {
+			return fmt.Errorf("blocksort: %w", perr)
+		}
+		m.From = int32(r.ep.ID())
+		m.To = int32(partner)
+		out := r.opts.Tamper(&m)
+		if out == nil {
+			return nil
+		}
+		m = *out
+	}
+	if err := r.ep.Send(bit, m); err != nil {
+		return fmt.Errorf("blocksort: send: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package checker
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPermutation(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []int64
+		want bool
+	}{
+		{"both empty", nil, nil, true},
+		{"equal", []int64{1, 2, 3}, []int64{3, 1, 2}, true},
+		{"duplicates match", []int64{2, 2, 1}, []int64{1, 2, 2}, true},
+		{"duplicates differ", []int64{2, 2, 1}, []int64{1, 1, 2}, false},
+		{"different lengths", []int64{1}, []int64{1, 1}, false},
+		{"value swapped", []int64{1, 2}, []int64{1, 3}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsPermutation(tc.a, tc.b); got != tc.want {
+				t.Errorf("IsPermutation(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifySorted(t *testing.T) {
+	if err := VerifySorted([]int64{1, 2, 2, 9}, true); err != nil {
+		t.Errorf("sorted asc: %v", err)
+	}
+	if err := VerifySorted([]int64{9, 2, 2, 1}, false); err != nil {
+		t.Errorf("sorted desc: %v", err)
+	}
+	err := VerifySorted([]int64{1, 3, 2}, true)
+	if !errors.Is(err, ErrNotSorted) {
+		t.Errorf("want ErrNotSorted, got %v", err)
+	}
+	if err := VerifySorted([]int64{1, 2, 3}, false); !errors.Is(err, ErrNotSorted) {
+		t.Error("ascending run must fail descending check")
+	}
+	if err := VerifySorted(nil, true); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	in := []int64{5, 1, 4, 1}
+	if err := Verify(in, []int64{1, 1, 4, 5}, true); err != nil {
+		t.Errorf("correct sort rejected: %v", err)
+	}
+	if err := Verify(in, []int64{1, 4, 5}, true); !errors.Is(err, ErrNotPermutation) {
+		t.Errorf("short output: want ErrNotPermutation, got %v", err)
+	}
+	if err := Verify(in, []int64{1, 1, 4, 6}, true); !errors.Is(err, ErrNotPermutation) {
+		t.Errorf("value substitution: want ErrNotPermutation, got %v", err)
+	}
+	if err := Verify(in, []int64{1, 4, 1, 5}, true); !errors.Is(err, ErrNotSorted) {
+		t.Errorf("unsorted permutation: want ErrNotSorted, got %v", err)
+	}
+}
+
+// The two Theorem 1 failure modes the paper names: output not a
+// permutation (part 1) and an out-of-order adjacent pair (part 2).
+func TestVerifyCatchesSingleCorruptionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(raw []int16, pick uint8, delta int16) bool {
+		if len(raw) == 0 || delta == 0 {
+			return true
+		}
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		out := append([]int64{}, in...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		// Corrupt one element the way a faulty processor would.
+		i := int(pick) % len(out)
+		out[i] += int64(delta)
+		if IsPermutation(in, out) {
+			// The corruption happened to produce another value already
+			// present with compensation — impossible with one change.
+			return false
+		}
+		return Verify(in, out, true) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyAcceptsAllSortedProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		out := append([]int64{}, in...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return Verify(in, out, true) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCost(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 2}, {8, 24}, {1024, 10240},
+	}
+	for _, tc := range tests {
+		if got := VerifyCost(tc.n); got != tc.want {
+			t.Errorf("VerifyCost(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

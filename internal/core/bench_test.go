@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/hypercube"
+	"repro/internal/simnet"
+)
+
+func benchSeq(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = rng.Int63n(1 << 20)
+	}
+	return xs
+}
+
+func BenchmarkProgress(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			seq := benchSeq(n, 1)
+			// Shape it canonically: ascending lower, descending upper.
+			lo, hi := seq[:n/2], seq[n/2:]
+			sortAsc(lo)
+			sortDesc(hi)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := Progress(seq, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sortAsc(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func sortDesc(xs []int64) {
+	sortAsc(xs)
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func BenchmarkFeasibility(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prev := benchSeq(n, 2)
+			cur := append([]int64{}, prev...)
+			rng := rand.New(rand.NewSource(3))
+			rng.Shuffle(len(cur), func(i, j int) { cur[i], cur[j] = cur[j], cur[i] })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := Feasibility(prev, cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVectMaskClosedForm(b *testing.B) {
+	topo := hypercube.MustNew(10)
+	sc, err := topo.HomeSubcube(10, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VectMask(9, 0, 0, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectMaskRecursive(b *testing.B) {
+	topo := hypercube.MustNew(10)
+	sc, err := topo.HomeSubcube(10, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VectMaskRecursive(9, 0, 0, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSFTEndToEnd measures the wall-clock cost of a whole S_FT
+// run on the simulator (goroutines + channels + encoding), per cube size.
+func BenchmarkSFTEndToEnd(b *testing.B) {
+	for _, dim := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("N=%d", 1<<uint(dim)), func(b *testing.B) {
+			keys := benchSeq(1<<uint(dim), 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 10 * time.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				oc, err := Run(nw, keys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if oc.Detected() {
+					b.Fatal("spurious detection")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Virtual time must be deterministic: goroutine scheduling varies
+// across runs, but the per-node clocks, the makespan, and the traffic
+// counters may not. This is what makes the reproduced "measured"
+// figures reproducible bit-for-bit.
+func TestVirtualTimeIsDeterministic(t *testing.T) {
+	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
+	type snapshot struct {
+		makespan transport.Ticks
+		clocks   [8]transport.Ticks
+		msgs     int64
+		bytes    int64
+	}
+	run := func() snapshot {
+		oc, err := Run(newNet(t, 3), keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oc.Detected() {
+			t.Fatal("spurious detection")
+		}
+		var s snapshot
+		s.makespan = oc.Result.Makespan()
+		for i, n := range oc.Result.Nodes {
+			s.clocks[i] = n.Clock
+		}
+		s.msgs = oc.Result.Metrics.TotalMsgs()
+		s.bytes = oc.Result.Metrics.TotalBytes()
+		return s
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); got != first {
+			t.Fatalf("trial %d: %+v != %+v", trial, got, first)
+		}
+	}
+}
+
+// A different cost model changes the clocks but never the sorted
+// output or the detection behaviour: correctness is independent of
+// the performance model.
+func TestCostModelIndependence(t *testing.T) {
+	keys := []int64{5, -3, 12, 0, 7, 7, -9, 1}
+	models := []simnet.CostModel{
+		simnet.DefaultCostModel(),
+		{SendFixed: 1, SendPerByte: 1, Latency: 1, RecvFixed: 1, RecvPerByte: 1,
+			HostFixed: 1, HostPerByte: 1, Compare: 1, KeyMove: 1},
+		{SendFixed: 999999, SendPerByte: 77, Latency: 12345, RecvFixed: 5, RecvPerByte: 3,
+			HostFixed: 2, HostPerByte: 9999, Compare: 1000, KeyMove: 321},
+	}
+	var makespans []transport.Ticks
+	for i, cm := range models {
+		nw, err := simnet.New(simnet.Config{Dim: 3, Cost: cm, RecvTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oc, err := Run(nw, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oc.Detected() {
+			t.Fatalf("model %d: spurious detection", i)
+		}
+		if err := checker.Verify(keys, oc.Sorted, true); err != nil {
+			t.Fatalf("model %d: %v", i, err)
+		}
+		makespans = append(makespans, oc.Result.Makespan())
+	}
+	if makespans[0] == makespans[1] || makespans[1] == makespans[2] {
+		t.Errorf("distinct cost models gave identical makespans: %v", makespans)
+	}
+}

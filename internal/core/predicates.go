@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Progress implements Φ_P (Figure 4a). At the end of a regular stage,
+// the assembled sequence over the home subcube SC_{i+1} is the
+// previous stage's output: its lower half must be sorted ascending and
+// its upper half descending (the canonical bitonic form the schedule
+// produces — Lemma 2). At the final verification (final == true) the
+// whole sequence must be sorted ascending. A violation means some
+// processor failed to advance the computation toward the goal.
+func Progress(seq []int64, final bool) error {
+	if final {
+		if i := firstDisorder(seq, true); i >= 0 {
+			return fmt.Errorf("final sequence not ascending at offset %d (%d then %d): %w",
+				i, seq[i], seq[i+1], ErrProgress)
+		}
+		return nil
+	}
+	if len(seq)%2 != 0 {
+		return fmt.Errorf("stage sequence length %d is odd: %w", len(seq), ErrProgress)
+	}
+	half := len(seq) / 2
+	if i := firstDisorder(seq[:half], true); i >= 0 {
+		return fmt.Errorf("lower half not ascending at offset %d (%d then %d): %w",
+			i, seq[i], seq[i+1], ErrProgress)
+	}
+	if i := firstDisorder(seq[half:], false); i >= 0 {
+		return fmt.Errorf("upper half not descending at offset %d (%d then %d): %w",
+			half+i, seq[half+i], seq[half+i+1], ErrProgress)
+	}
+	return nil
+}
+
+// firstDisorder returns the first index i where (seq[i], seq[i+1])
+// violates the direction, or -1 when the sequence is monotonic.
+func firstDisorder(seq []int64, ascending bool) int {
+	for i := 1; i < len(seq); i++ {
+		if ascending && seq[i-1] > seq[i] {
+			return i - 1
+		}
+		if !ascending && seq[i-1] < seq[i] {
+			return i - 1
+		}
+	}
+	return -1
+}
+
+// Feasibility implements Φ_F (Figure 4b): the current stage's
+// assembled sequence, restricted to the checking node's half, must be
+// exactly the multiset of the previously verified sequence over that
+// same subcube — the intermediate result stays inside the solution
+// space (no sort key is invented, dropped, or duplicated). Residents
+// of the other half run the mirror-image check, so the union of local
+// checks is a global permutation test.
+func Feasibility(prev, cur []int64) error {
+	if len(prev) != len(cur) {
+		return fmt.Errorf("sequence lengths %d vs %d: %w", len(prev), len(cur), ErrFeasibility)
+	}
+	counts := make(map[int64]int, len(prev))
+	for _, v := range prev {
+		counts[v]++
+	}
+	for _, v := range cur {
+		counts[v]--
+		if counts[v] < 0 {
+			return fmt.Errorf("value %d appears more often than in previous stage: %w", v, ErrFeasibility)
+		}
+	}
+	// Balanced counts with equal lengths imply none remain positive,
+	// but report the first missing value explicitly for diagnostics.
+	for v, c := range counts {
+		if c > 0 {
+			return fmt.Errorf("value %d from previous stage is missing: %w", v, ErrFeasibility)
+		}
+	}
+	return nil
+}
+
+// FeasibilityTwoPointer is the paper's literal Φ_F (Figure 4b): it
+// walks the current sequence in sort order, consuming the previous
+// *bitonic* sequence from both ends with two cursors (l from the
+// ascending run, u from the descending run); every element must match
+// one of the cursors. It requires prev to be bitonic in the canonical
+// up-down form and cur to be sorted ascending — exactly the state at a
+// stage boundary. Under those preconditions it is equivalent to the
+// multiset test Feasibility implements (property-tested), in O(n) time
+// and O(1) space instead of a counting map.
+func FeasibilityTwoPointer(prev, cur []int64) error {
+	if len(prev) != len(cur) {
+		return fmt.Errorf("sequence lengths %d vs %d: %w", len(prev), len(cur), ErrFeasibility)
+	}
+	l, u := 0, len(prev)-1
+	for m := 0; m < len(cur); m++ {
+		switch {
+		case l <= u && cur[m] == prev[l]:
+			l++
+		case l <= u && cur[m] == prev[u]:
+			u--
+		default:
+			return fmt.Errorf("element %d (value %d) matches neither cursor of previous sequence: %w",
+				m, cur[m], ErrFeasibility)
+		}
+	}
+	return nil
+}
+
+// BitCompare is the paper's bit_compare: Φ_P over the full assembled
+// sequence followed by Φ_F over the checking node's half (or the whole
+// sequence at the final verification, where every node holds the full
+// previous sequence).
+func BitCompare(prev, assembled, myHalf []int64, final bool) error {
+	if err := Progress(assembled, final); err != nil {
+		return err
+	}
+	if final {
+		return Feasibility(prev, assembled)
+	}
+	return Feasibility(prev, myHalf)
+}

@@ -1,0 +1,590 @@
+// Package core implements S_FT, the paper's primary contribution: the
+// fault-tolerant distributed bitonic sort built with the
+// application-oriented fault tolerance paradigm (Figure 3).
+//
+// The algorithm runs the bitonic schedule of S_NR unchanged, but every
+// message additionally piggybacks the sender's partial view of the
+// previous stage's output sequence (the LBS). Views spread through the
+// same exchanges the sort already performs; because every pair
+// exchange echoes the merged view back, each value travels to each
+// checker along vertex-disjoint paths, and any two copies that meet
+// must agree (Φ_C). At the end of each stage the fully assembled
+// previous-stage sequence is checked for shape (Φ_P) and for being a
+// permutation of the stage before it (Φ_F). A final pure-exchange
+// round verifies the last stage's output. The result is fail-stop
+// behaviour from Byzantine parts: the sort completes correctly or some
+// honest node signals ERROR to the host and halts — it never silently
+// delivers a wrong permutation (Theorem 3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/hypercube"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TraceEvent reports a node's assembled, verified sequence at the end
+// of a stage; cmd/tracesort uses it to reproduce the paper's Figure 5
+// worked example.
+type TraceEvent struct {
+	// Node is the reporting node.
+	Node int
+	// Stage is the completed stage index, or Dim for the final
+	// verification round.
+	Stage int
+	// Final marks the final verification round.
+	Final bool
+	// Subcube is the home subcube the sequence covers.
+	Subcube hypercube.Subcube
+	// Assembled is the gathered sequence (the verified LBS): the
+	// output of stage Stage-1 for regular stages, the final sorted
+	// sequence when Final.
+	Assembled []int64
+}
+
+// Options tunes one node's S_FT program. The zero value is the honest
+// protocol.
+type Options struct {
+	// Tamper, when non-nil, intercepts every outgoing message just
+	// before transmission, modelling a Byzantine processor. It may
+	// mutate the message, return a replacement, or return nil to stay
+	// silent. From/To are stamped before the call so strategies can
+	// vary by receiver (the split-lie attack Φ_C exists to catch).
+	Tamper func(m *wire.Message) *wire.Message
+	// SkipChecks disables the node's own executable assertions: a
+	// malicious processor does not report itself. Honest peers are
+	// the ones expected to detect it.
+	SkipChecks bool
+	// Trace, when non-nil, receives a TraceEvent at the end of every
+	// stage and after the final verification.
+	Trace func(ev TraceEvent)
+
+	// The remaining flags are ablation switches used to quantify how
+	// much each mechanism of the paradigm contributes (DESIGN.md §5).
+	// Production callers leave them false.
+
+	// TrustSenderMasks skips the vect_mask validation of claimed
+	// knowledge masks in Φ_C: any mask the sender claims is believed.
+	// Detection of fabrication/withholding then falls to later
+	// conflict or completeness checks — the ablation measures the
+	// added detection latency.
+	TrustSenderMasks bool
+	// SkipFinalVerification drops the final pure-exchange round. The
+	// last stage's output is then unchecked, and a last-stage lie
+	// becomes silent corruption — the ablation that shows why the
+	// paper adds the extra round.
+	SkipFinalVerification bool
+	// SeparateCheckMessages sends each view in its own message after
+	// the compare-exchange keys instead of piggybacking, doubling the
+	// main-loop message count. The ablation quantifies the messaging
+	// overhead piggybacking avoids. All nodes of a run must agree on
+	// this flag.
+	SeparateCheckMessages bool
+}
+
+// NodeProgram returns the S_FT program for one node with initial key
+// key. On successful completion the node's final key is written to
+// *out (each node writes only its own slot).
+func NodeProgram(key int64, out *int64, opts Options) node.Program {
+	return func(ep transport.Endpoint) error {
+		r := &sftRunner{ep: ep, opts: opts}
+		a, err := r.run(key)
+		if err != nil {
+			return err
+		}
+		*out = a
+		return nil
+	}
+}
+
+type sftRunner struct {
+	ep   transport.Endpoint
+	opts Options
+}
+
+// fail constructs the node's predicate error with no specific accused
+// node; failFrom is the variant used when the evidence implicates a
+// sender.
+func (r *sftRunner) fail(kind error, stage, iter int, format string, args ...any) error {
+	return r.failFrom(kind, stage, iter, -1, format, args...)
+}
+
+// failFrom constructs the node's predicate error, signals ERROR (with
+// the accused node) to the host — the reliable diagnostic channel of
+// the paradigm — and returns the error so the node fail-stops.
+func (r *sftRunner) failFrom(kind error, stage, iter, accused int, format string, args ...any) error {
+	pe := &PredicateError{
+		Node:    r.ep.ID(),
+		Stage:   stage,
+		Iter:    iter,
+		Kind:    kind,
+		Accused: accused,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+	// Host signalling is best-effort: the host link is reliable by
+	// assumption, but a full mailbox must not mask the local error.
+	_ = r.ep.SendHost(wire.Message{
+		Kind:  wire.KindError,
+		Stage: int32(stage),
+		Iter:  int32(iter),
+		Payload: wire.EncodeError(wire.ErrorPayload{
+			Predicate: PredicateName(kind),
+			Accused:   int32(accused),
+			Detail:    pe.Detail,
+		}),
+	})
+	return pe
+}
+
+func (r *sftRunner) run(key int64) (int64, error) {
+	id := r.ep.ID()
+	topo := r.ep.Topology()
+	n := topo.Dim()
+	a := key
+	if n == 0 {
+		return a, nil // a single node is trivially sorted
+	}
+
+	// prevSeq is the verified output of stage s-2 over prevSC = SC_s,
+	// i.e. the paper's LLBS.
+	var prevSeq []int64
+	var prevSC hypercube.Subcube
+
+	for s := 0; s < n; s++ {
+		sc, err := topo.HomeSubcube(s+1, id)
+		if err != nil {
+			return 0, fmt.Errorf("core: %w", err)
+		}
+		view := newGatherView(sc)
+		view.set(id, a) // seed LBS with this stage's starting value
+		for j := s; j >= 0; j-- {
+			a, err = r.ftExchange(view, a, s, j)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !view.complete() && !r.opts.SkipChecks {
+			return 0, r.fail(ErrConsistency, s, -1,
+				"stage gather incomplete: mask %s", view.have.String())
+		}
+		assembled := view.values()
+		if s > 0 && !r.opts.SkipChecks {
+			// bit_compare: Φ_P over the assembled previous-stage
+			// output, Φ_F over this node's half against LLBS. The
+			// charges reflect Lemma 8's O(2^i) bound.
+			r.ep.ChargeCompare(len(assembled))
+			if err := Progress(assembled, false); err != nil {
+				return 0, r.fail(ErrProgress, s, -1, "%v", err)
+			}
+			myHalf := halfContaining(assembled, sc, prevSC)
+			r.ep.ChargeCompare(2 * len(prevSeq))
+			if err := Feasibility(prevSeq, myHalf); err != nil {
+				return 0, r.fail(ErrFeasibility, s, -1, "%v", err)
+			}
+		}
+		r.ep.ChargeKeyMove(len(assembled)) // LLBS update
+		if r.opts.Trace != nil {
+			r.opts.Trace(TraceEvent{Node: id, Stage: s, Subcube: sc, Assembled: assembled})
+		}
+		prevSeq = assembled
+		prevSC = sc
+	}
+
+	if r.opts.SkipFinalVerification {
+		// Ablation: the last stage's output goes unchecked.
+		return a, nil
+	}
+
+	// Final verification: a pure exchange of the final sorted values
+	// over the whole cube, then the last bit_compare.
+	scAll, err := topo.HomeSubcube(n, id)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	view := newGatherView(scAll)
+	view.set(id, a)
+	for j := n - 1; j >= 0; j-- {
+		if err := r.verifyExchange(view, n-1, j); err != nil {
+			return 0, err
+		}
+	}
+	if !view.complete() && !r.opts.SkipChecks {
+		return 0, r.fail(ErrConsistency, n, -1,
+			"final gather incomplete: mask %s", view.have.String())
+	}
+	finalSeq := view.values()
+	if !r.opts.SkipChecks {
+		r.ep.ChargeCompare(len(finalSeq))
+		if err := Progress(finalSeq, true); err != nil {
+			return 0, r.fail(ErrProgress, n, -1, "%v", err)
+		}
+		r.ep.ChargeCompare(2 * len(prevSeq))
+		if err := Feasibility(prevSeq, finalSeq); err != nil {
+			return 0, r.fail(ErrFeasibility, n, -1, "%v", err)
+		}
+	}
+	if r.opts.Trace != nil {
+		r.opts.Trace(TraceEvent{Node: id, Stage: n, Final: true, Subcube: scAll, Assembled: finalSeq})
+	}
+	return a, nil
+}
+
+// halfContaining slices the assembled sequence (over sc) down to the
+// node's own previous home subcube prevSC.
+func halfContaining(assembled []int64, sc, prevSC hypercube.Subcube) []int64 {
+	lo := prevSC.Start - sc.Start
+	hi := lo + prevSC.Size()
+	return assembled[lo:hi]
+}
+
+// ftExchange performs the stage-s iteration-j compare-exchange of
+// Figure 3, with the piggybacked view merge (Φ_C) on both sides, and
+// returns the node's new key.
+func (r *sftRunner) ftExchange(view *gatherView, a int64, s, j int) (int64, error) {
+	id := r.ep.ID()
+	topo := r.ep.Topology()
+	partner, err := topo.Partner(id, j)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	ascending := topo.Ascending(s, id)
+
+	if hypercube.Active(id, j) {
+		// Active side: receive the partner's key and pre-merge view,
+		// run Φ_C, compare-exchange, and reply with both keys and the
+		// merged (echoed) view.
+		keys, rv, ok, err := r.recvParts(j, s, partner)
+		if err != nil {
+			return 0, err
+		}
+		var data int64
+		haveData := false
+		if ok {
+			switch {
+			case len(keys) != 1 && !r.opts.SkipChecks:
+				return 0, r.failFrom(ErrProtocol, s, j, partner, "expected 1 key from %d, got %d", partner, len(keys))
+			default:
+				if len(keys) == 1 {
+					data = keys[0]
+					haveData = true
+				}
+				if err := r.mergeView(view, rv, s, j, partner, false); err != nil {
+					return 0, err
+				}
+				// At the stage's first iteration the passive node's key
+				// must match its seeded view entry: its stage-start value.
+				if j == s && !r.opts.SkipChecks && haveData {
+					if idx := partner - view.sc.Start; view.have.Has(idx) && view.vals[idx] != data {
+						return 0, r.failFrom(ErrProtocol, s, j, partner,
+							"node %d sent key %d but its view claims %d", partner, data, view.vals[idx])
+					}
+				}
+			}
+		}
+		if !haveData {
+			// No usable key (only possible for SkipChecks nodes);
+			// degrade to keeping our own value.
+			data = a
+		}
+		r.ep.ChargeCompare(1)
+		lo, hi := data, a
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		keep, give := lo, hi
+		if !ascending {
+			keep, give = hi, lo
+		}
+		if err := r.sendParts(j, s, []int64{keep, give}, view.wireView()); err != nil {
+			return 0, err
+		}
+		return keep, nil
+	}
+
+	// Passive side: send our key and current view, then adopt the
+	// returned key after validating the pair.
+	if err := r.sendParts(j, s, []int64{a}, view.wireView()); err != nil {
+		return 0, err
+	}
+	keys, rv, ok, err := r.recvParts(j, s, partner)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return a, nil // SkipChecks node tolerating a dead partner
+	}
+	if len(keys) != 2 {
+		if r.opts.SkipChecks {
+			return a, nil
+		}
+		return 0, r.failFrom(ErrProtocol, s, j, partner, "expected 2 keys from %d, got %d", partner, len(keys))
+	}
+	if err := r.mergeView(view, rv, s, j, partner, true); err != nil {
+		return 0, err
+	}
+	keep, give := keys[0], keys[1]
+	if !r.opts.SkipChecks {
+		// The returned pair must contain our contributed key and be
+		// oriented per the schedule's direction.
+		if keep != a && give != a {
+			return 0, r.failFrom(ErrProtocol, s, j, partner,
+				"compare-exchange reply (%d,%d) from %d lost our key %d", keep, give, partner, a)
+		}
+		if ascending && keep > give {
+			return 0, r.failFrom(ErrProtocol, s, j, partner,
+				"ascending compare-exchange reply (%d,%d) from %d misordered", keep, give, partner)
+		}
+		if !ascending && keep < give {
+			return 0, r.failFrom(ErrProtocol, s, j, partner,
+				"descending compare-exchange reply (%d,%d) from %d misordered", keep, give, partner)
+		}
+		// At the stage's first iteration we also know the active
+		// node's stage-start value from the echoed view, so the whole
+		// compare-exchange is verifiable.
+		if j == s {
+			if idx := partner - view.sc.Start; view.have.Has(idx) {
+				other := view.vals[idx]
+				lo, hi := other, a
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				wantKeep, wantGive := lo, hi
+				if !ascending {
+					wantKeep, wantGive = hi, lo
+				}
+				if keep != wantKeep || give != wantGive {
+					return 0, r.failFrom(ErrProtocol, s, j, partner,
+						"compare-exchange of (%d,%d) by %d returned (%d,%d), want (%d,%d)",
+						other, a, partner, keep, give, wantKeep, wantGive)
+				}
+			}
+		}
+	}
+	return give, nil
+}
+
+// verifyExchange performs one iteration of the final pure-exchange
+// verification round.
+func (r *sftRunner) verifyExchange(view *gatherView, s, j int) error {
+	id := r.ep.ID()
+	partner, err := r.ep.Topology().Partner(id, j)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	stageLabel := s + 1 // distinguishes the final round in message headers
+
+	if hypercube.Active(id, j) {
+		m, ok, err := r.recvChecked(j, wire.KindVerify, stageLabel, j, partner)
+		if err != nil {
+			return err
+		}
+		if ok {
+			p, derr := wire.DecodeVerify(m.Payload)
+			if derr != nil && !r.opts.SkipChecks {
+				return r.failFrom(ErrProtocol, stageLabel, j, partner, "undecodable verify from %d: %v", partner, derr)
+			}
+			if derr == nil {
+				if err := r.mergeView(view, p.View, s, j, partner, false); err != nil {
+					return err
+				}
+			}
+		}
+		return r.send(j, wire.Message{
+			Kind:  wire.KindVerify,
+			Stage: int32(stageLabel),
+			Iter:  int32(j),
+		}, wire.VerifyPayload{View: view.wireView()})
+	}
+
+	if err := r.send(j, wire.Message{
+		Kind:  wire.KindVerify,
+		Stage: int32(stageLabel),
+		Iter:  int32(j),
+	}, wire.VerifyPayload{View: view.wireView()}); err != nil {
+		return err
+	}
+	m, ok, err := r.recvChecked(j, wire.KindVerify, stageLabel, j, partner)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	p, derr := wire.DecodeVerify(m.Payload)
+	if derr != nil {
+		if r.opts.SkipChecks {
+			return nil
+		}
+		return r.failFrom(ErrProtocol, stageLabel, j, partner, "undecodable verify from %d: %v", partner, derr)
+	}
+	return r.mergeView(view, p.View, s, j, partner, true)
+}
+
+// sendParts transmits one compare-exchange leg: keys plus view,
+// piggybacked in one message normally, or as two messages under the
+// SeparateCheckMessages ablation.
+func (r *sftRunner) sendParts(bit, s int, keys []int64, v wire.View) error {
+	if !r.opts.SeparateCheckMessages {
+		return r.send(bit, wire.Message{
+			Kind:  wire.KindFTExchange,
+			Stage: int32(s),
+			Iter:  int32(bit),
+		}, wire.FTExchangePayload{Keys: keys, View: v})
+	}
+	if err := r.send(bit, wire.Message{
+		Kind:  wire.KindExchange,
+		Stage: int32(s),
+		Iter:  int32(bit),
+	}, wire.ExchangePayload{Keys: keys}); err != nil {
+		return err
+	}
+	return r.send(bit, wire.Message{
+		Kind:  wire.KindVerify,
+		Stage: int32(s),
+		Iter:  int32(bit),
+	}, wire.VerifyPayload{View: v})
+}
+
+// recvParts receives one compare-exchange leg in whichever framing the
+// run uses. ok is false only for SkipChecks nodes tolerating garbage.
+func (r *sftRunner) recvParts(bit, s, partner int) (keys []int64, v wire.View, ok bool, err error) {
+	if !r.opts.SeparateCheckMessages {
+		m, ok, err := r.recvChecked(bit, wire.KindFTExchange, s, bit, partner)
+		if err != nil || !ok {
+			return nil, wire.View{}, false, err
+		}
+		p, derr := wire.DecodeFTExchange(m.Payload)
+		if derr != nil {
+			if r.opts.SkipChecks {
+				return nil, wire.View{}, false, nil
+			}
+			return nil, wire.View{}, false, r.failFrom(ErrProtocol, s, bit, partner, "undecodable exchange from %d: %v", partner, derr)
+		}
+		return p.Keys, p.View, true, nil
+	}
+	m1, ok, err := r.recvChecked(bit, wire.KindExchange, s, bit, partner)
+	if err != nil || !ok {
+		return nil, wire.View{}, false, err
+	}
+	kp, derr := wire.DecodeExchange(m1.Payload)
+	if derr != nil {
+		if r.opts.SkipChecks {
+			return nil, wire.View{}, false, nil
+		}
+		return nil, wire.View{}, false, r.failFrom(ErrProtocol, s, bit, partner, "undecodable keys from %d: %v", partner, derr)
+	}
+	m2, ok, err := r.recvChecked(bit, wire.KindVerify, s, bit, partner)
+	if err != nil || !ok {
+		return nil, wire.View{}, false, err
+	}
+	vp, derr := wire.DecodeVerify(m2.Payload)
+	if derr != nil {
+		if r.opts.SkipChecks {
+			return nil, wire.View{}, false, nil
+		}
+		return nil, wire.View{}, false, r.failFrom(ErrProtocol, s, bit, partner, "undecodable view from %d: %v", partner, derr)
+	}
+	return kp.Keys, vp.View, true, nil
+}
+
+// mergeView folds a received view into the local one under Φ_C. The
+// expected knowledge mask is the vect_mask prediction: pre-exchange
+// knowledge when the sender is the passive party (postExchange false),
+// post-exchange knowledge when the sender is the active party echoing
+// its merged view (postExchange true).
+func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, postExchange bool) error {
+	// Φ_C work is linear in the received entries plus the vect_mask
+	// evaluation (Lemma 9's O(2^{j+1} + 2^{i-j}) bound).
+	r.ep.ChargeCompare(rv.Mask.Count())
+	if r.opts.SkipChecks {
+		view.mergeLenient(rv)
+		return nil
+	}
+	if r.opts.TrustSenderMasks {
+		// Ablation: believe any claimed mask; only overlap conflicts
+		// are still checked.
+		if err := view.mergeTrusting(rv); err != nil {
+			return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, err)
+		}
+		return nil
+	}
+	expected, eErr := r.expectedMask(s, j, sender, view.sc, postExchange)
+	if eErr != nil {
+		return fmt.Errorf("core: %w", eErr)
+	}
+	if err := view.mergeChecked(rv, expected); err != nil {
+		return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, err)
+	}
+	return nil
+}
+
+func (r *sftRunner) expectedMask(s, j, sender int, sc hypercube.Subcube, postExchange bool) (bitset.Set, error) {
+	if postExchange {
+		return VectMask(s, j, sender, sc)
+	}
+	return VectMaskBefore(s, j, sender, sc)
+}
+
+// recvChecked receives from the given link and validates the header
+// against the expected kind, stage, iteration, and sender. For
+// SkipChecks nodes every validation failure degrades to ok == false
+// rather than an error: a Byzantine node never fail-stops itself.
+func (r *sftRunner) recvChecked(bit int, kind wire.Kind, stage, iter, partner int) (wire.Message, bool, error) {
+	m, err := r.ep.Recv(bit)
+	if err != nil {
+		if r.opts.SkipChecks {
+			return wire.Message{}, false, nil
+		}
+		return wire.Message{}, false, r.failFrom(ErrProtocol, stage, iter, partner, "receive from %d: %v", partner, err)
+	}
+	if m.Kind != kind || int(m.Stage) != stage || int(m.Iter) != iter ||
+		int(m.From) != partner || int(m.To) != r.ep.ID() {
+		if r.opts.SkipChecks {
+			return wire.Message{}, false, nil
+		}
+		return wire.Message{}, false, r.failFrom(ErrProtocol, stage, iter, partner,
+			"unexpected header kind=%v stage=%d iter=%d from=%d to=%d (want kind=%v stage=%d iter=%d from=%d)",
+			m.Kind, m.Stage, m.Iter, m.From, m.To, kind, stage, iter, partner)
+	}
+	return m, true, nil
+}
+
+// send encodes the payload, applies the Byzantine tamper hook if any,
+// and transmits.
+func (r *sftRunner) send(bit int, m wire.Message, payload any) error {
+	var err error
+	switch p := payload.(type) {
+	case wire.FTExchangePayload:
+		m.Payload, err = wire.EncodeFTExchange(p)
+	case wire.VerifyPayload:
+		m.Payload, err = wire.EncodeVerify(p)
+	case wire.ExchangePayload:
+		m.Payload = wire.EncodeExchange(p)
+	default:
+		err = fmt.Errorf("core: unsupported payload type %T", payload)
+	}
+	if err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	if r.opts.Tamper != nil {
+		partner, perr := r.ep.Topology().Partner(r.ep.ID(), bit)
+		if perr != nil {
+			return fmt.Errorf("core: %w", perr)
+		}
+		m.From = int32(r.ep.ID())
+		m.To = int32(partner)
+		out := r.opts.Tamper(&m)
+		if out == nil {
+			return nil // Byzantine silence
+		}
+		m = *out
+	}
+	if err := r.ep.Send(bit, m); err != nil {
+		return fmt.Errorf("core: send: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/hypercube"
+)
+
+// VectMask computes the paper's vect_mask(i, j, node): the set of
+// subcube slots whose stage-start values node has legitimately
+// collected *after* completing iteration j of stage i's exchange
+// schedule (the inner loop runs j = i downto 0). The returned set is
+// indexed relative to sc.Start, where sc is the stage's home subcube
+// SC_{i+1,node}.
+//
+// It follows the paper's recurrence
+//
+//	vect_mask(i, i, k) = {k, k XOR 2^i}
+//	vect_mask(i, j, k) = vect_mask(i, j+1, k) ∪ vect_mask(i, j+1, k XOR 2^j)
+//
+// which has the closed form {k XOR m : m ⊆ bits j..i} — every label
+// reachable from k by flipping any subset of the already-exchanged
+// dimensions. VectMaskRecursive implements the literal recurrence; the
+// two are property-tested against each other.
+func VectMask(stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
+	if err := checkMaskArgs(stage, iter, node, sc); err != nil {
+		return bitset.Set{}, err
+	}
+	set := bitset.New(sc.Size())
+	// Enumerate all subsets of bit positions iter..stage.
+	bitsAvail := make([]int, 0, stage-iter+1)
+	for b := iter; b <= stage; b++ {
+		bitsAvail = append(bitsAvail, b)
+	}
+	for sub := 0; sub < 1<<uint(len(bitsAvail)); sub++ {
+		m := 0
+		for k, b := range bitsAvail {
+			if sub&(1<<uint(k)) != 0 {
+				m |= 1 << uint(b)
+			}
+		}
+		set.Add((node ^ m) - sc.Start)
+	}
+	return set, nil
+}
+
+// VectMaskBefore returns the knowledge a node holds *before* the
+// iteration-iter exchange of stage: its seed {node} when iter == stage
+// (nothing exchanged yet), otherwise the post-exchange knowledge of
+// iteration iter+1. Receivers use it to validate the mask claimed by
+// a passive sender, whose view is transmitted pre-merge.
+func VectMaskBefore(stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
+	if iter == stage {
+		if err := checkMaskArgs(stage, iter, node, sc); err != nil {
+			return bitset.Set{}, err
+		}
+		set := bitset.New(sc.Size())
+		set.Add(node - sc.Start)
+		return set, nil
+	}
+	return VectMask(stage, iter+1, node, sc)
+}
+
+// VectMaskRecursive is the paper's vect_mask recurrence implemented
+// literally (Figure 4c). It exists to cross-validate the closed form;
+// production code calls VectMask.
+func VectMaskRecursive(stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
+	if err := checkMaskArgs(stage, iter, node, sc); err != nil {
+		return bitset.Set{}, err
+	}
+	return vmRec(stage, iter, node, sc), nil
+}
+
+func vmRec(stage, iter, node int, sc hypercube.Subcube) bitset.Set {
+	d := 1 << uint(iter)
+	set := bitset.New(sc.Size())
+	if iter == stage {
+		set.Add(node - sc.Start)
+		set.Add((node ^ d) - sc.Start)
+		return set
+	}
+	a := vmRec(stage, iter+1, node, sc)
+	b := vmRec(stage, iter+1, node^d, sc)
+	_ = a.UnionWith(b) // lengths match by construction
+	return a
+}
+
+func checkMaskArgs(stage, iter, node int, sc hypercube.Subcube) error {
+	if iter < 0 || iter > stage {
+		return fmt.Errorf("core: vect_mask iter %d outside [0, %d]", iter, stage)
+	}
+	if sc.Dim != stage+1 {
+		return fmt.Errorf("core: vect_mask subcube dim %d, want stage+1 = %d", sc.Dim, stage+1)
+	}
+	if !sc.Contains(node) {
+		return fmt.Errorf("core: vect_mask node %d outside %v", node, sc)
+	}
+	return nil
+}

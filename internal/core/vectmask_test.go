@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hypercube"
+)
+
+func sc(t *testing.T, topo hypercube.Topology, dim, node int) hypercube.Subcube {
+	t.Helper()
+	s, err := topo.HomeSubcube(dim, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVectMaskBaseCase(t *testing.T) {
+	topo := hypercube.MustNew(3)
+	// Stage 2, iteration 2 (first exchange): node knows itself and its
+	// bit-2 partner.
+	s := sc(t, topo, 3, 5)
+	m, err := VectMask(2, 2, 5, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 5} // labels 1 and 5 relative to base 0
+	got := m.Indices()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("VectMask(2,2,5) = %v, want %v", got, want)
+	}
+}
+
+func TestVectMaskFullAfterLastIteration(t *testing.T) {
+	topo := hypercube.MustNew(4)
+	for stage := 0; stage < 4; stage++ {
+		for nodeID := 0; nodeID < topo.Nodes(); nodeID++ {
+			s := sc(t, topo, stage+1, nodeID)
+			m, err := VectMask(stage, 0, nodeID, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Full() {
+				t.Fatalf("stage %d node %d: mask %s not full after iteration 0", stage, nodeID, m.String())
+			}
+		}
+	}
+}
+
+func TestVectMaskSizeDoubling(t *testing.T) {
+	topo := hypercube.MustNew(4)
+	s := sc(t, topo, 4, 6)
+	// After iteration j of stage 3, knowledge has 2^(3-j+1) entries.
+	for j := 3; j >= 0; j-- {
+		m, err := VectMask(3, j, 6, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 << uint(3-j+1)
+		if m.Count() != want {
+			t.Fatalf("iter %d: %d entries, want %d", j, m.Count(), want)
+		}
+	}
+}
+
+func TestVectMaskBefore(t *testing.T) {
+	topo := hypercube.MustNew(3)
+	s := sc(t, topo, 3, 2)
+	// Before the first exchange the node knows only itself.
+	m, err := VectMaskBefore(2, 2, 2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 1 || !m.Has(2) {
+		t.Fatalf("seed mask = %s", m.String())
+	}
+	// Before iteration j < stage it equals post-knowledge of j+1.
+	before, err := VectMaskBefore(2, 0, 2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := VectMask(2, 1, 2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(after) {
+		t.Fatalf("before(j=0) %s != after(j=1) %s", before.String(), after.String())
+	}
+}
+
+// The closed form must agree with the paper's literal recurrence
+// everywhere.
+func TestVectMaskMatchesRecursive(t *testing.T) {
+	topo := hypercube.MustNew(4)
+	for stage := 0; stage < topo.Dim(); stage++ {
+		for nodeID := 0; nodeID < topo.Nodes(); nodeID++ {
+			s := sc(t, topo, stage+1, nodeID)
+			for j := stage; j >= 0; j-- {
+				closed, err := VectMask(stage, j, nodeID, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, err := VectMaskRecursive(stage, j, nodeID, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !closed.Equal(rec) {
+					t.Fatalf("stage=%d j=%d node=%d: closed %s != recursive %s",
+						stage, j, nodeID, closed.String(), rec.String())
+				}
+			}
+		}
+	}
+}
+
+// The mask must equal the knowledge an actual simulation of the
+// exchange schedule produces: seed {self}, then at each iteration both
+// partners end up with the union of their pre-exchange knowledge.
+func TestVectMaskMatchesScheduleSimulation(t *testing.T) {
+	topo := hypercube.MustNew(4)
+	for stage := 0; stage < topo.Dim(); stage++ {
+		size := 1 << uint(stage+1)
+		// know[node] = set of absolute labels known (within home subcube)
+		know := make([]map[int]bool, topo.Nodes())
+		for id := range know {
+			know[id] = map[int]bool{id: true}
+		}
+		for j := stage; j >= 0; j-- {
+			next := make([]map[int]bool, topo.Nodes())
+			for id := range next {
+				p := id ^ (1 << uint(j))
+				u := map[int]bool{}
+				for k := range know[id] {
+					u[k] = true
+				}
+				for k := range know[p] {
+					u[k] = true
+				}
+				next[id] = u
+			}
+			know = next
+			for id := 0; id < topo.Nodes(); id++ {
+				s := sc(t, topo, stage+1, id)
+				m, err := VectMask(stage, j, id, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Count() != len(know[id]) {
+					t.Fatalf("stage=%d j=%d node=%d: mask size %d, sim %d",
+						stage, j, id, m.Count(), len(know[id]))
+				}
+				for k := range know[id] {
+					if !m.Has(k - s.Start) {
+						t.Fatalf("stage=%d j=%d node=%d: mask missing %d", stage, j, id, k)
+					}
+				}
+			}
+		}
+		_ = size
+	}
+}
+
+func TestVectMaskValidation(t *testing.T) {
+	topo := hypercube.MustNew(3)
+	s := sc(t, topo, 3, 0)
+	if _, err := VectMask(2, 3, 0, s); err == nil {
+		t.Error("iter > stage: want error")
+	}
+	if _, err := VectMask(2, -1, 0, s); err == nil {
+		t.Error("negative iter: want error")
+	}
+	wrong := sc(t, topo, 2, 0)
+	if _, err := VectMask(2, 1, 0, wrong); err == nil {
+		t.Error("subcube dim mismatch: want error")
+	}
+	outside := sc(t, topo, 3, 0)
+	if _, err := VectMask(2, 1, 99, outside); err == nil {
+		t.Error("node outside subcube: want error")
+	}
+	if _, err := VectMaskRecursive(2, 3, 0, s); err == nil {
+		t.Error("recursive iter > stage: want error")
+	}
+	if _, err := VectMaskBefore(2, 3, 0, s); err == nil {
+		t.Error("before iter > stage: want error")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/hypercube"
+	"repro/internal/wire"
+)
+
+// gatherView is a node's working copy of the stage's bitonic-sequence
+// view (the paper's LBS plus its lmask): values indexed by subcube
+// slot, with a knowledge mask saying which slots have been collected.
+type gatherView struct {
+	sc   hypercube.Subcube
+	have bitset.Set
+	vals []int64
+}
+
+func newGatherView(sc hypercube.Subcube) *gatherView {
+	return &gatherView{
+		sc:   sc,
+		have: bitset.New(sc.Size()),
+		vals: make([]int64, sc.Size()),
+	}
+}
+
+// set records the value for an absolute node label.
+func (g *gatherView) set(nodeLabel int, v int64) {
+	g.have.Add(nodeLabel - g.sc.Start)
+	g.vals[nodeLabel-g.sc.Start] = v
+}
+
+// complete reports whether every slot has been collected.
+func (g *gatherView) complete() bool { return g.have.Full() }
+
+// values returns a copy of the assembled sequence; valid only when
+// complete.
+func (g *gatherView) values() []int64 {
+	out := make([]int64, len(g.vals))
+	copy(out, g.vals)
+	return out
+}
+
+// wireView converts the working view to its wire representation.
+func (g *gatherView) wireView() wire.View {
+	vals := make([]int64, 0, g.have.Count())
+	for _, idx := range g.have.Indices() {
+		vals = append(vals, g.vals[idx])
+	}
+	return wire.View{
+		Base:     int32(g.sc.Start),
+		Size:     int32(g.sc.Size()),
+		BlockLen: 1,
+		Mask:     g.have.Clone(),
+		Vals:     vals,
+	}
+}
+
+// mergeChecked implements the heart of Φ_C (Figure 4c): fold a
+// received view into the local one. For every slot the sender claims:
+// if we already hold a copy (collected via a vertex-disjoint relay
+// path), the two copies must be identical; otherwise we adopt it. The
+// sender's claimed mask must exactly match the knowledge the exchange
+// schedule entitles it to (the vect_mask prediction) — claiming more
+// is fabrication, claiming less is withholding, and both are faults.
+func (g *gatherView) mergeChecked(rv wire.View, expected bitset.Set) error {
+	if err := rv.Validate(); err != nil {
+		return fmt.Errorf("malformed view: %w", err)
+	}
+	if int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() {
+		return fmt.Errorf("view bounds [%d,+%d) do not match subcube %v", rv.Base, rv.Size, g.sc)
+	}
+	if !rv.Mask.Equal(expected) {
+		return fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
+	}
+	vi := 0
+	for _, idx := range rv.Mask.Indices() {
+		v := rv.Vals[vi]
+		vi++
+		if g.have.Has(idx) {
+			if g.vals[idx] != v {
+				return fmt.Errorf("slot %d (node %d): held copy %d disagrees with relayed copy %d",
+					idx, g.sc.Start+idx, g.vals[idx], v)
+			}
+			continue
+		}
+		g.have.Add(idx)
+		g.vals[idx] = v
+	}
+	return nil
+}
+
+// mergeTrusting folds a received view in while believing the sender's
+// claimed mask (the TrustSenderMasks ablation): overlapping copies are
+// still compared, but fabricated or withheld knowledge claims are not
+// rejected at merge time.
+func (g *gatherView) mergeTrusting(rv wire.View) error {
+	if err := rv.Validate(); err != nil {
+		return fmt.Errorf("malformed view: %w", err)
+	}
+	if int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() {
+		return fmt.Errorf("view bounds [%d,+%d) do not match subcube %v", rv.Base, rv.Size, g.sc)
+	}
+	vi := 0
+	for _, idx := range rv.Mask.Indices() {
+		v := rv.Vals[vi]
+		vi++
+		if g.have.Has(idx) {
+			if g.vals[idx] != v {
+				return fmt.Errorf("slot %d (node %d): held copy %d disagrees with relayed copy %d",
+					idx, g.sc.Start+idx, g.vals[idx], v)
+			}
+			continue
+		}
+		g.have.Add(idx)
+		g.vals[idx] = v
+	}
+	return nil
+}
+
+// mergeLenient folds a received view in without any checking: slots we
+// lack are adopted, conflicts are ignored. Byzantine (SkipChecks)
+// nodes use it so they keep participating without self-reporting.
+func (g *gatherView) mergeLenient(rv wire.View) {
+	if rv.Validate() != nil || int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() {
+		return
+	}
+	vi := 0
+	for _, idx := range rv.Mask.Indices() {
+		v := rv.Vals[vi]
+		vi++
+		if !g.have.Has(idx) {
+			g.have.Add(idx)
+			g.vals[idx] = v
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package costmodel implements the analytic run-time models of the
+// paper's Section 5: the fitted component-time table (communication
+// and computation tick formulas for S_FT and for host sequential
+// sorting), the large-system projections of Figure 7, and the block
+// sort/merge projections of Figure 8. It also fits the same two-term
+// bases to *measured* simulator ticks so the reproduction can compare
+// its constants to the paper's.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Basis identifies one term of a cost formula in N (nodes).
+type Basis int
+
+const (
+	// BasisOne is the constant term.
+	BasisOne Basis = iota + 1
+	// BasisLgN is log2 N.
+	BasisLgN
+	// BasisLg2N is (log2 N)^2.
+	BasisLg2N
+	// BasisN is N.
+	BasisN
+	// BasisNLgN is N·log2 N.
+	BasisNLgN
+)
+
+var basisNames = map[Basis]string{
+	BasisOne:  "1",
+	BasisLgN:  "lgN",
+	BasisLg2N: "lg²N",
+	BasisN:    "N",
+	BasisNLgN: "N·lgN",
+}
+
+// String names the basis term.
+func (b Basis) String() string {
+	if s, ok := basisNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("basis(%d)", int(b))
+}
+
+// Eval evaluates the basis at N nodes.
+func (b Basis) Eval(n float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("costmodel: basis eval at N=%v", n)
+	}
+	lg := math.Log2(n)
+	switch b {
+	case BasisOne:
+		return 1, nil
+	case BasisLgN:
+		return lg, nil
+	case BasisLg2N:
+		return lg * lg, nil
+	case BasisN:
+		return n, nil
+	case BasisNLgN:
+		return n * lg, nil
+	default:
+		return 0, fmt.Errorf("costmodel: unknown basis %d", int(b))
+	}
+}
+
+// Term is one coefficient·basis component.
+type Term struct {
+	Coef  float64
+	Basis Basis
+}
+
+// Formula is a sum of terms, e.g. 8·lg²N + 0.05·N·lgN.
+type Formula []Term
+
+// Eval evaluates the formula at N nodes.
+func (f Formula) Eval(n float64) (float64, error) {
+	var s float64
+	for _, t := range f {
+		v, err := t.Basis.Eval(n)
+		if err != nil {
+			return 0, err
+		}
+		s += t.Coef * v
+	}
+	return s, nil
+}
+
+// String renders the formula in the paper's style.
+func (f Formula) String() string {
+	if len(f) == 0 {
+		return "0"
+	}
+	out := ""
+	for i, t := range f {
+		if i > 0 {
+			out += " + "
+		}
+		out += fmt.Sprintf("%.4g·%s", t.Coef, t.Basis)
+	}
+	return out
+}
+
+// Model is a per-algorithm cost model: separate communication and
+// computation formulas whose sum is the projected run time.
+type Model struct {
+	Name string
+	Comm Formula
+	Comp Formula
+}
+
+// Total evaluates comm+comp at N nodes.
+func (m Model) Total(n float64) (float64, error) {
+	c1, err := m.Comm.Eval(n)
+	if err != nil {
+		return 0, err
+	}
+	c2, err := m.Comp.Eval(n)
+	if err != nil {
+		return 0, err
+	}
+	return c1 + c2, nil
+}
+
+// PaperSFT returns the paper's measured component-time model for S_FT
+// (Section 5 table): comm = 8·lg²N + 0.05·N·lgN, comp = 11.5·N.
+func PaperSFT() Model {
+	return Model{
+		Name: "S_FT (paper)",
+		Comm: Formula{{Coef: 8, Basis: BasisLg2N}, {Coef: 0.05, Basis: BasisNLgN}},
+		Comp: Formula{{Coef: 11.5, Basis: BasisN}},
+	}
+}
+
+// PaperSequential returns the paper's host sequential-sort model:
+// comm = 14·N, comp = 0.45·N·lgN.
+func PaperSequential() Model {
+	return Model{
+		Name: "Sequential (paper)",
+		Comm: Formula{{Coef: 14, Basis: BasisN}},
+		Comp: Formula{{Coef: 0.45, Basis: BasisNLgN}},
+	}
+}
+
+// Point is one measured observation: a cube of N nodes with measured
+// communication and computation ticks (per-node maxima, matching the
+// paper's per-component timings).
+type Point struct {
+	N    int
+	Comm float64
+	Comp float64
+}
+
+// Fit fits comm and comp formulas over the given bases to measured
+// points by least squares, returning a Model with the recovered
+// constants — the reproduction's analogue of the paper's table.
+func Fit(name string, points []Point, commBases, compBases []Basis) (Model, error) {
+	comm, err := fitFormula(points, commBases, func(p Point) float64 { return p.Comm })
+	if err != nil {
+		return Model{}, fmt.Errorf("costmodel: fit %s comm: %w", name, err)
+	}
+	comp, err := fitFormula(points, compBases, func(p Point) float64 { return p.Comp })
+	if err != nil {
+		return Model{}, fmt.Errorf("costmodel: fit %s comp: %w", name, err)
+	}
+	return Model{Name: name, Comm: comm, Comp: comp}, nil
+}
+
+func fitFormula(points []Point, bases []Basis, get func(Point) float64) (Formula, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("no bases")
+	}
+	X := make([][]float64, len(points))
+	y := make([]float64, len(points))
+	for i, p := range points {
+		row := make([]float64, len(bases))
+		for j, b := range bases {
+			v, err := b.Eval(float64(p.N))
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		X[i] = row
+		y[i] = get(p)
+	}
+	coef, err := stats.LeastSquares(X, y)
+	if err != nil {
+		return nil, err
+	}
+	f := make(Formula, len(bases))
+	for j, b := range bases {
+		f[j] = Term{Coef: coef[j], Basis: b}
+	}
+	return f, nil
+}
+
+// FitQuality returns R² of the model's total against the points.
+func FitQuality(m Model, points []Point) (commR2, compR2 float64, err error) {
+	var comm, commPred, comp, compPred []float64
+	for _, p := range points {
+		cm, err := m.Comm.Eval(float64(p.N))
+		if err != nil {
+			return 0, 0, err
+		}
+		cp, err := m.Comp.Eval(float64(p.N))
+		if err != nil {
+			return 0, 0, err
+		}
+		comm = append(comm, p.Comm)
+		commPred = append(commPred, cm)
+		comp = append(comp, p.Comp)
+		compPred = append(compPred, cp)
+	}
+	commR2, err = stats.RSquared(comm, commPred)
+	if err != nil {
+		return 0, 0, err
+	}
+	compR2, err = stats.RSquared(comp, compPred)
+	return commR2, compR2, err
+}
+
+// ProjectionRow is one line of the Figure 7 projection table.
+type ProjectionRow struct {
+	N      int
+	Totals []float64 // one per model, in argument order
+}
+
+// Project evaluates the models at N = 2^minDim .. 2^maxDim.
+func Project(models []Model, minDim, maxDim int) ([]ProjectionRow, error) {
+	if minDim < 1 || maxDim < minDim {
+		return nil, fmt.Errorf("costmodel: bad projection range [%d,%d]", minDim, maxDim)
+	}
+	var rows []ProjectionRow
+	for d := minDim; d <= maxDim; d++ {
+		n := 1 << uint(d)
+		row := ProjectionRow{N: n}
+		for _, m := range models {
+			v, err := m.Total(float64(n))
+			if err != nil {
+				return nil, err
+			}
+			row.Totals = append(row.Totals, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Crossover returns the smallest N = 2^d (d in [minDim, maxDim]) at
+// which model a's total is below model b's, or 0 when a never wins in
+// the range — the Figure 7 question "when does reliable parallel
+// sorting beat host sorting".
+func Crossover(a, b Model, minDim, maxDim int) (int, error) {
+	rows, err := Project([]Model{a, b}, minDim, maxDim)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range rows {
+		if r.Totals[0] < r.Totals[1] {
+			return r.N, nil
+		}
+	}
+	return 0, nil
+}
+
+// LimitRatio returns the asymptotic-ish ratio a.Total/b.Total at the
+// given (large) N — the paper's closing observation that reliable
+// parallel sorting tends to ~11% of sequential cost.
+func LimitRatio(a, b Model, n float64) (float64, error) {
+	ta, err := a.Total(n)
+	if err != nil {
+		return 0, err
+	}
+	tb, err := b.Total(n)
+	if err != nil {
+		return 0, err
+	}
+	if tb == 0 {
+		return 0, fmt.Errorf("costmodel: zero denominator at N=%v", n)
+	}
+	return ta / tb, nil
+}
+
+// growthOrder ranks bases by asymptotic growth.
+var growthOrder = map[Basis]int{
+	BasisOne:  1,
+	BasisLgN:  2,
+	BasisLg2N: 3,
+	BasisN:    4,
+	BasisNLgN: 5,
+}
+
+// dominantCoef returns the coefficient sum of the fastest-growing
+// basis present in the model's total (comm+comp).
+func dominantCoef(m Model) (Basis, float64) {
+	best := Basis(0)
+	var coef float64
+	scan := func(f Formula) {
+		for _, t := range f {
+			if t.Coef == 0 {
+				continue
+			}
+			switch {
+			case growthOrder[t.Basis] > growthOrder[best]:
+				best = t.Basis
+				coef = t.Coef
+			case t.Basis == best:
+				coef += t.Coef
+			}
+		}
+	}
+	scan(m.Comm)
+	scan(m.Comp)
+	return best, coef
+}
+
+// AsymptoticRatio returns lim N→∞ a.Total(N)/b.Total(N). For the
+// paper's models both totals are dominated by their N·lgN terms, so
+// the limit is 0.05/0.45 ≈ 11% — the closing claim of Section 5.
+// When a's dominant term grows slower than b's the limit is 0; when it
+// grows faster the limit diverges and an error is returned.
+func AsymptoticRatio(a, b Model) (float64, error) {
+	ba, ca := dominantCoef(a)
+	bb, cb := dominantCoef(b)
+	if bb == 0 || cb == 0 {
+		return 0, fmt.Errorf("costmodel: model %q has no dominant term", b.Name)
+	}
+	switch {
+	case growthOrder[ba] < growthOrder[bb]:
+		return 0, nil
+	case growthOrder[ba] > growthOrder[bb]:
+		return 0, fmt.Errorf("costmodel: ratio %q/%q diverges", a.Name, b.Name)
+	default:
+		return ca / cb, nil
+	}
+}
+
+// ScaleByBlock returns a copy of the model with every coefficient
+// multiplied by m — the paper's observation that for block sorting
+// "each of the predicates Φ scales by m" and the exchange volume
+// scales likewise. Used for Figure 8 projections.
+func ScaleByBlock(m Model, blockLen int) Model {
+	scale := func(f Formula) Formula {
+		out := make(Formula, len(f))
+		for i, t := range f {
+			out[i] = Term{Coef: t.Coef * float64(blockLen), Basis: t.Basis}
+		}
+		return out
+	}
+	return Model{
+		Name: fmt.Sprintf("%s ×m=%d", m.Name, blockLen),
+		Comm: scale(m.Comm),
+		Comp: scale(m.Comp),
+	}
+}

@@ -1,0 +1,239 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBasisEval(t *testing.T) {
+	tests := []struct {
+		b    Basis
+		n    float64
+		want float64
+	}{
+		{BasisOne, 64, 1},
+		{BasisLgN, 64, 6},
+		{BasisLg2N, 64, 36},
+		{BasisN, 64, 64},
+		{BasisNLgN, 64, 384},
+	}
+	for _, tc := range tests {
+		got, err := tc.b.Eval(tc.n)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.b, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%v.Eval(%v) = %v, want %v", tc.b, tc.n, got, tc.want)
+		}
+	}
+	if _, err := BasisN.Eval(0); err == nil {
+		t.Error("Eval at N=0: want error")
+	}
+	if _, err := Basis(99).Eval(4); err == nil {
+		t.Error("unknown basis: want error")
+	}
+	if Basis(99).String() != "basis(99)" {
+		t.Error("unknown basis name")
+	}
+}
+
+func TestPaperModelsMatchTable(t *testing.T) {
+	sft := PaperSFT()
+	// At N=32 (lg=5): comm = 8·25 + 0.05·160 = 208, comp = 368.
+	comm, err := sft.Comm.Eval(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(comm-208) > 1e-9 {
+		t.Errorf("SFT comm(32) = %v, want 208", comm)
+	}
+	comp, err := sft.Comp.Eval(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(comp-368) > 1e-9 {
+		t.Errorf("SFT comp(32) = %v, want 368", comp)
+	}
+	seq := PaperSequential()
+	// comm = 14·32 = 448, comp = 0.45·160 = 72.
+	comm, _ = seq.Comm.Eval(32)
+	comp, _ = seq.Comp.Eval(32)
+	if math.Abs(comm-448) > 1e-9 || math.Abs(comp-72) > 1e-9 {
+		t.Errorf("Seq(32) = %v/%v, want 448/72", comm, comp)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := PaperSFT().Comm
+	s := f.String()
+	if !strings.Contains(s, "lg²N") || !strings.Contains(s, "N·lgN") {
+		t.Errorf("String = %q", s)
+	}
+	if (Formula{}).String() != "0" {
+		t.Error("empty formula String")
+	}
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	truth := PaperSFT()
+	var pts []Point
+	for d := 2; d <= 10; d++ {
+		n := 1 << uint(d)
+		comm, err := truth.Comm.Eval(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := truth.Comp.Eval(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, Point{N: n, Comm: comm, Comp: comp})
+	}
+	m, err := Fit("recovered", pts, []Basis{BasisLg2N, BasisNLgN}, []Basis{BasisN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Comm[0].Coef-8) > 1e-6 || math.Abs(m.Comm[1].Coef-0.05) > 1e-9 {
+		t.Errorf("recovered comm = %v", m.Comm)
+	}
+	if math.Abs(m.Comp[0].Coef-11.5) > 1e-6 {
+		t.Errorf("recovered comp = %v", m.Comp)
+	}
+	commR2, compR2, err := FitQuality(m, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commR2 < 0.9999 || compR2 < 0.9999 {
+		t.Errorf("R² = %v/%v", commR2, compR2)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit("x", nil, []Basis{BasisN}, []Basis{BasisN}); err == nil {
+		t.Error("no points: want error")
+	}
+	pts := []Point{{N: 4, Comm: 1, Comp: 1}, {N: 8, Comm: 2, Comp: 2}}
+	if _, err := Fit("x", pts, nil, []Basis{BasisN}); err == nil {
+		t.Error("no comm bases: want error")
+	}
+}
+
+// The paper's own models must cross: the host wins at small N, S_FT
+// wins for every larger cube (Figure 7's message).
+func TestPaperCrossover(t *testing.T) {
+	x, err := Crossover(PaperSFT(), PaperSequential(), 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == 0 {
+		t.Fatal("S_FT never beats sequential in the paper's own models")
+	}
+	if x > 256 {
+		t.Errorf("crossover at N=%d, expected well below 256", x)
+	}
+	// Below the crossover the host must win (small cubes).
+	sft, _ := PaperSFT().Total(4)
+	seq, _ := PaperSequential().Total(4)
+	if sft < seq {
+		t.Errorf("at N=4: S_FT %v beats sequential %v; paper says host wins small", sft, seq)
+	}
+}
+
+// In the limit the paper reports reliable parallel sorting costs ~11%
+// of host sorting: the N·lgN coefficients 0.05/0.45.
+func TestPaperLimitRatio(t *testing.T) {
+	r, err := AsymptoticRatio(PaperSFT(), PaperSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1.0/9.0) > 1e-9 {
+		t.Errorf("asymptotic ratio = %v, paper says ~0.11", r)
+	}
+	// At finite N the ratio is still descending toward the limit.
+	r20, err := LimitRatio(PaperSFT(), PaperSequential(), float64(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := LimitRatio(PaperSFT(), PaperSequential(), float64(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r20 < r10) {
+		t.Errorf("ratio not descending: N=2^10 %v vs N=2^20 %v", r10, r20)
+	}
+}
+
+func TestAsymptoticRatioEdges(t *testing.T) {
+	slow := Model{Name: "slow", Comp: Formula{{Coef: 3, Basis: BasisLgN}}}
+	fast := Model{Name: "fast", Comp: Formula{{Coef: 2, Basis: BasisN}}}
+	r, err := AsymptoticRatio(slow, fast)
+	if err != nil || r != 0 {
+		t.Errorf("slow/fast = %v, %v", r, err)
+	}
+	if _, err := AsymptoticRatio(fast, slow); err == nil {
+		t.Error("diverging ratio: want error")
+	}
+	if _, err := AsymptoticRatio(fast, Model{Name: "empty"}); err == nil {
+		t.Error("empty denominator model: want error")
+	}
+}
+
+func TestProject(t *testing.T) {
+	rows, err := Project([]Model{PaperSFT(), PaperSequential()}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].N != 4 || rows[3].N != 32 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if len(r.Totals) != 2 || r.Totals[0] <= 0 || r.Totals[1] <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	if _, err := Project(nil, 0, 5); err == nil {
+		t.Error("minDim 0: want error")
+	}
+	if _, err := Project(nil, 5, 2); err == nil {
+		t.Error("inverted range: want error")
+	}
+}
+
+func TestScaleByBlock(t *testing.T) {
+	m := ScaleByBlock(PaperSFT(), 64)
+	base, _ := PaperSFT().Total(32)
+	scaled, _ := m.Total(32)
+	if math.Abs(scaled-64*base) > 1e-6 {
+		t.Errorf("scaled total = %v, want %v", scaled, 64*base)
+	}
+	if !strings.Contains(m.Name, "m=64") {
+		t.Errorf("name = %q", m.Name)
+	}
+}
+
+// Figure 8's message: scaling by m shifts the crossover to smaller N
+// or keeps it — block sorting makes fault tolerance pay off sooner in
+// absolute problem size. With both models scaled by m the crossover N
+// is unchanged; the win is that total work per node grows so the
+// constant-dominated region shrinks relative to problem size.
+func TestBlockScalingPreservesCrossover(t *testing.T) {
+	x1, err := Crossover(PaperSFT(), PaperSequential(), 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Crossover(ScaleByBlock(PaperSFT(), 1024), ScaleByBlock(PaperSequential(), 1024), 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 != x2 {
+		t.Errorf("crossovers differ: %d vs %d", x1, x2)
+	}
+}
+
+func TestLimitRatioZeroDenominator(t *testing.T) {
+	zero := Model{Name: "zero"}
+	if _, err := LimitRatio(PaperSFT(), zero, 16); err == nil {
+		t.Error("zero denominator: want error")
+	}
+}

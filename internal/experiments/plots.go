@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+)
+
+// Plot renders Figure 6 as an ASCII chart: the three observed curves
+// over the measured cube sizes.
+func (f Figure6Result) Plot() (string, error) {
+	ticks := make([]string, len(f.Rows))
+	snr := make([]float64, len(f.Rows))
+	sft := make([]float64, len(f.Rows))
+	host := make([]float64, len(f.Rows))
+	for i, r := range f.Rows {
+		ticks[i] = fmt.Sprintf("N=%d", r.N)
+		snr[i] = float64(r.SNR.Makespan)
+		sft[i] = float64(r.SFT.Makespan)
+		host[i] = float64(r.Host.Makespan)
+	}
+	return plot.Render(plot.Config{
+		Title:  "Figure 6 — sorting time, small cubes",
+		XLabel: "cube size",
+		YLabel: "virtual ticks",
+		XTicks: ticks,
+	}, []plot.Series{
+		{Name: "S_NR observed", Rune: 'n', Y: snr},
+		{Name: "S_FT observed", Rune: 'F', Y: sft},
+		{Name: "Host sort observed", Rune: 'h', Y: host},
+	})
+}
+
+// Plot renders the projection as a log-scale ASCII chart of the
+// measured-model curves (the paper's Figure 7 uses a log time axis for
+// the same reason: the curves span orders of magnitude).
+func (f Figure7Result) Plot() (string, error) {
+	if len(f.Models) < 2 {
+		return "", fmt.Errorf("experiments: projection has %d models", len(f.Models))
+	}
+	ticks := make([]string, len(f.Rows))
+	a := make([]float64, len(f.Rows))
+	b := make([]float64, len(f.Rows))
+	for i, r := range f.Rows {
+		ticks[i] = fmt.Sprintf("%d", r.N)
+		a[i] = r.Totals[0]
+		b[i] = r.Totals[1]
+	}
+	title := f.Title
+	if title == "" {
+		title = "Figure 7 — projected sorting times, large systems"
+	}
+	return plot.Render(plot.Config{
+		Title:  title,
+		XLabel: "nodes",
+		YLabel: "virtual ticks",
+		XTicks: ticks,
+		LogY:   true,
+	}, []plot.Series{
+		{Name: f.Models[0].Name, Rune: 'F', Y: a},
+		{Name: f.Models[1].Name, Rune: 'h', Y: b},
+	})
+}
+
+// Plot renders Figure 8's measured block-sorting curves.
+func (f Figure8Result) Plot() (string, error) {
+	ticks := make([]string, len(f.Rows))
+	nr := make([]float64, len(f.Rows))
+	ft := make([]float64, len(f.Rows))
+	host := make([]float64, len(f.Rows))
+	for i, r := range f.Rows {
+		ticks[i] = fmt.Sprintf("N=%d", r.N)
+		nr[i] = float64(r.BlockNR.Makespan)
+		ft[i] = float64(r.BlockFT.Makespan)
+		host[i] = float64(r.Host.Makespan)
+	}
+	m := 0
+	if len(f.Rows) > 0 {
+		m = f.Rows[0].M
+	}
+	return plot.Render(plot.Config{
+		Title:  fmt.Sprintf("Figure 8 — block sort/merge vs host sort (m=%d)", m),
+		XLabel: "cube size",
+		YLabel: "virtual ticks",
+		XTicks: ticks,
+	}, []plot.Series{
+		{Name: "block S_NR", Rune: 'n', Y: nr},
+		{Name: "block S_FT", Rune: 'F', Y: ft},
+		{Name: "host sort", Rune: 'h', Y: host},
+	})
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// RandomAdversary builds a randomized Byzantine tamper hook: for every
+// outgoing message past the activation stage it picks, at random, one
+// of several structured or unstructured mutations — key substitution,
+// view-value substitution, raw byte corruption, header re-stamping,
+// occasional silence, or passing the message through. It is the
+// property-based complement to the named strategies: instead of
+// testing attacks we thought of, it searches the attack space.
+// Deterministic for a given seed.
+func RandomAdversary(seed int64, activateStage int) func(m *wire.Message) *wire.Message {
+	rng := rand.New(rand.NewSource(seed))
+	return func(m *wire.Message) *wire.Message {
+		if int(m.Stage) < activateStage {
+			return m
+		}
+		switch rng.Intn(8) {
+		case 0: // pass through (intermittent faults are the nastiest)
+			return m
+		case 1: // silence
+			return nil
+		case 2: // flip a random payload byte
+			if len(m.Payload) > 0 {
+				p := append([]byte{}, m.Payload...)
+				p[rng.Intn(len(p))] ^= byte(1 + rng.Intn(255))
+				m.Payload = p
+			}
+			return m
+		case 3: // re-stamp the header to a random step
+			m.Stage = int32(rng.Intn(4))
+			m.Iter = int32(rng.Intn(4))
+			return m
+		case 4: // swap kind
+			kinds := []wire.Kind{wire.KindExchange, wire.KindFTExchange, wire.KindVerify}
+			m.Kind = kinds[rng.Intn(len(kinds))]
+			return m
+		default: // structured value lies
+			switch m.Kind {
+			case wire.KindFTExchange:
+				p, err := wire.DecodeFTExchange(m.Payload)
+				if err != nil {
+					return m
+				}
+				if len(p.Keys) > 0 && rng.Intn(2) == 0 {
+					p.Keys[rng.Intn(len(p.Keys))] = rng.Int63n(2000) - 1000
+				}
+				if len(p.View.Vals) > 0 {
+					p.View.Vals[rng.Intn(len(p.View.Vals))] = rng.Int63n(2000) - 1000
+				}
+				buf, err := wire.EncodeFTExchange(p)
+				if err != nil {
+					return m
+				}
+				m.Payload = buf
+			case wire.KindVerify:
+				p, err := wire.DecodeVerify(m.Payload)
+				if err != nil {
+					return m
+				}
+				if len(p.View.Vals) > 0 {
+					p.View.Vals[rng.Intn(len(p.View.Vals))] = rng.Int63n(2000) - 1000
+				}
+				buf, err := wire.EncodeVerify(p)
+				if err != nil {
+					return m
+				}
+				m.Payload = buf
+			}
+			return m
+		}
+	}
+}
+
+// AdversarySearch runs `trials` randomized single-adversary attacks
+// (random faulty node, random mutation stream) against S_FT and
+// returns the verdict tally. Any SilentWrong is a counterexample to
+// the fail-stop guarantee and is reported with its reproduction seed.
+func AdversarySearch(dim int, keys []int64, trials int, seed int64, timeout time.Duration) (Summary, []int64, error) {
+	n := 1 << uint(dim)
+	if len(keys) != n {
+		return Summary{}, nil, fmt.Errorf("fault: %d keys for %d nodes", len(keys), n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum Summary
+	var counterexamples []int64
+	for trial := 0; trial < trials; trial++ {
+		trialSeed := rng.Int63()
+		faulty := rng.Intn(n)
+		r, err := injectAdversary(dim, keys, faulty, trialSeed, timeout)
+		if err != nil {
+			return Summary{}, nil, fmt.Errorf("fault: adversary trial %d: %w", trial, err)
+		}
+		sum.Total++
+		switch r {
+		case Detected:
+			sum.Detected++
+		case CorrectDespiteFault:
+			sum.CorrectDespiteFault++
+		case SilentWrong:
+			sum.SilentWrong++
+			counterexamples = append(counterexamples, trialSeed)
+		}
+	}
+	return sum, counterexamples, nil
+}
+
+func injectAdversary(dim int, keys []int64, faulty int, seed int64, timeout time.Duration) (Verdict, error) {
+	spec := Spec{Node: faulty, Strategy: KeyLie, ActivateStage: 1} // placeholder for validation ranges
+	if err := spec.Validate(1 << uint(dim)); err != nil {
+		return 0, err
+	}
+	r, err := injectWithTamper(dim, keys, faulty, RandomAdversary(seed, 1), timeout)
+	if err != nil {
+		return 0, err
+	}
+	return r, nil
+}

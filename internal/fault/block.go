@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blocksort"
+	"repro/internal/checker"
+	"repro/internal/hostsort"
+	"repro/internal/simnet"
+)
+
+// InjectBlockFT runs the fault-tolerant block sort with one Byzantine
+// processor per the spec and classifies the outcome — the block-scaled
+// counterpart of InjectSFT, validating the paper's claim that "each of
+// the predicates Φ scales by m" without losing coverage.
+func InjectBlockFT(dim int, blocks [][]int64, spec Spec, timeout time.Duration) (Result, error) {
+	n := 1 << uint(dim)
+	if err := spec.Validate(n); err != nil {
+		return Result{}, err
+	}
+	if len(blocks) != n {
+		return Result{}, fmt.Errorf("fault: %d blocks for %d nodes", len(blocks), n)
+	}
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	if err != nil {
+		return Result{}, err
+	}
+	opts := make([]blocksort.Options, n)
+	opts[spec.Node] = blocksort.Options{SkipChecks: true, Tamper: spec.Tamper()}
+	oc, err := blocksort.RunFTWithOptions(nw, blocks, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Spec: spec}
+	if oc.Detected() {
+		res.Verdict = Detected
+		if len(oc.HostErrors) > 0 {
+			res.Predicate = oc.HostErrors[0].Predicate
+		}
+		return res, nil
+	}
+	all := hostsort.SortedBlocksFlat(blocks)
+	got := hostsort.SortedBlocksFlat(oc.SortedBlocks)
+	if cerr := checker.Verify(all, got, true); cerr != nil {
+		res.Verdict = SilentWrong
+	} else {
+		res.Verdict = CorrectDespiteFault
+	}
+	return res, nil
+}
+
+// CoverageBlockFT sweeps the given strategies over every node against
+// the fault-tolerant block sort, in (strategy, node) order.
+func CoverageBlockFT(dim int, blocks [][]int64, strategies []Strategy, lie int64, timeout time.Duration) ([]Result, error) {
+	n := 1 << uint(dim)
+	type job struct{ strat, node int }
+	var jobs []job
+	for si := range strategies {
+		for id := 0; id < n; id++ {
+			jobs = append(jobs, job{si, id})
+		}
+	}
+	out := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for i, jb := range jobs {
+		wg.Add(1)
+		go func(i int, jb job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := Spec{Node: jb.node, Strategy: strategies[jb.strat], ActivateStage: 1, LieValue: lie}
+			r, err := InjectBlockFT(dim, blocks, spec, timeout)
+			if err != nil {
+				errs[i] = fmt.Errorf("fault: block coverage %v node %d: %w", spec.Strategy, jb.node, err)
+				return
+			}
+			out[i] = r
+		}(i, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

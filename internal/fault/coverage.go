@@ -1,0 +1,297 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/sortnr"
+	"repro/internal/wire"
+)
+
+// Verdict classifies one fault-injection run.
+type Verdict int
+
+const (
+	// Detected means some honest node signalled an error (fail-stop).
+	Detected Verdict = iota + 1
+	// CorrectDespiteFault means the run completed with no detection
+	// and the output was nonetheless a correct sort (the lie happened
+	// to be consistent with the true data).
+	CorrectDespiteFault
+	// SilentWrong means the run completed undetected with a wrong
+	// output — the outcome Theorem 3 forbids for S_FT.
+	SilentWrong
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Detected:
+		return "detected"
+	case CorrectDespiteFault:
+		return "correct-despite-fault"
+	case SilentWrong:
+		return "SILENT-WRONG"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result is the outcome of one injected-fault run.
+type Result struct {
+	Spec    Spec
+	Verdict Verdict
+	// Predicate is the first predicate class that fired (when Detected
+	// and an ERROR reached the host).
+	Predicate string
+}
+
+// InjectSFT runs S_FT on a fresh network with one Byzantine processor
+// per the spec and classifies the outcome. The timeout bounds how long
+// absence detection waits; keep it short (tens of milliseconds) since
+// fail-stop cascades serialize on it.
+func InjectSFT(dim int, keys []int64, spec Spec, timeout time.Duration) (Result, error) {
+	n := 1 << uint(dim)
+	if err := spec.Validate(n); err != nil {
+		return Result{}, err
+	}
+	if len(keys) != n {
+		return Result{}, fmt.Errorf("fault: %d keys for %d nodes", len(keys), n)
+	}
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	if err != nil {
+		return Result{}, err
+	}
+	opts := make([]core.Options, n)
+	opts[spec.Node] = core.Options{SkipChecks: true, Tamper: spec.Tamper()}
+	oc, err := core.RunWithOptions(nw, keys, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Spec: spec}
+	if oc.Detected() {
+		res.Verdict = Detected
+		if len(oc.HostErrors) > 0 {
+			res.Predicate = oc.HostErrors[0].Predicate
+		}
+		return res, nil
+	}
+	if cerr := checker.Verify(keys, oc.Sorted, true); cerr != nil {
+		res.Verdict = SilentWrong
+	} else {
+		res.Verdict = CorrectDespiteFault
+	}
+	return res, nil
+}
+
+// injectWithTamper runs S_FT with an arbitrary tamper hook at one node
+// and classifies the outcome.
+func injectWithTamper(dim int, keys []int64, faulty int, tamper func(*wire.Message) *wire.Message, timeout time.Duration) (Verdict, error) {
+	n := 1 << uint(dim)
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	if err != nil {
+		return 0, err
+	}
+	opts := make([]core.Options, n)
+	opts[faulty] = core.Options{SkipChecks: true, Tamper: tamper}
+	oc, err := core.RunWithOptions(nw, keys, opts)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case oc.Detected():
+		return Detected, nil
+	case checker.Verify(keys, oc.Sorted, true) != nil:
+		return SilentWrong, nil
+	default:
+		return CorrectDespiteFault, nil
+	}
+}
+
+// InjectSNR runs the unreliable S_NR under the same fault spec, for
+// the contrast experiment: S_NR has no detection machinery, so lies
+// become silent corruption.
+func InjectSNR(dim int, keys []int64, spec Spec, timeout time.Duration) (Result, error) {
+	n := 1 << uint(dim)
+	if err := spec.Validate(n); err != nil {
+		return Result{}, err
+	}
+	if len(keys) != n {
+		return Result{}, fmt.Errorf("fault: %d keys for %d nodes", len(keys), n)
+	}
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]int64, n)
+	progs := make([]node.Program, n)
+	for id := 0; id < n; id++ {
+		o := sortnr.Options{}
+		if id == spec.Node {
+			o.Tamper = snrTamper(spec)
+		}
+		progs[id] = sortnr.NodeProgram(keys[id], &out[id], o)
+	}
+	runRes, err := node.RunPer(nw, progs, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Spec: spec}
+	if runRes.AnyErr() != nil {
+		// S_NR can only "detect" absence (timeouts), not value lies.
+		res.Verdict = Detected
+		return res, nil
+	}
+	if cerr := checker.Verify(keys, out, true); cerr != nil {
+		res.Verdict = SilentWrong
+	} else {
+		res.Verdict = CorrectDespiteFault
+	}
+	return res, nil
+}
+
+// snrTamper adapts a Spec to S_NR's plain key messages: value lies and
+// silence keep their meaning; view-level strategies (which have no
+// view to attack in S_NR) degenerate to key lies.
+func snrTamper(spec Spec) func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if int(m.Stage) < spec.ActivateStage || m.Kind != wire.KindExchange {
+			return m
+		}
+		if spec.Strategy == Silence {
+			return nil
+		}
+		p, err := wire.DecodeExchange(m.Payload)
+		if err != nil || len(p.Keys) == 0 {
+			return m
+		}
+		switch spec.Strategy {
+		case WrongCompare:
+			if len(p.Keys) >= 2 {
+				p.Keys[0], p.Keys[1] = p.Keys[1], p.Keys[0]
+			} else {
+				p.Keys[0] = spec.LieValue
+			}
+		default:
+			for i := range p.Keys {
+				p.Keys[i] = spec.LieValue
+			}
+		}
+		m.Payload = wire.EncodeExchange(p)
+		return m
+	}
+}
+
+// Coverage sweeps the given strategies over every node of the cube and
+// returns one Result per (strategy, node) pair, in (strategy, node)
+// order. Runs use independent networks and execute concurrently.
+func Coverage(dim int, keys []int64, strategies []Strategy, lie int64, timeout time.Duration) ([]Result, error) {
+	n := 1 << uint(dim)
+	type job struct{ strat, node int }
+	jobs := make([]job, 0, len(strategies)*n)
+	for si := range strategies {
+		for id := 0; id < n; id++ {
+			jobs = append(jobs, job{strat: si, node: id})
+		}
+	}
+	out := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, 8) // bound concurrent simulations
+	var wg sync.WaitGroup
+	for i, jb := range jobs {
+		wg.Add(1)
+		go func(i int, jb job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := Spec{Node: jb.node, Strategy: strategies[jb.strat], ActivateStage: 1, LieValue: lie}
+			r, err := InjectSFT(dim, keys, spec, timeout)
+			if err != nil {
+				errs[i] = fmt.Errorf("fault: coverage %v node %d: %w", spec.Strategy, jb.node, err)
+				return
+			}
+			out[i] = r
+		}(i, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InjectCrash runs S_FT with one node crashed outright (it never
+// executes a single protocol step — fail-stop from time zero). Its
+// partners observe message absence, which environmental assumption 4
+// makes detectable; the run must never complete with a wrong output.
+func InjectCrash(dim int, keys []int64, crashed int, timeout time.Duration) (Result, error) {
+	n := 1 << uint(dim)
+	if len(keys) != n {
+		return Result{}, fmt.Errorf("fault: %d keys for %d nodes", len(keys), n)
+	}
+	if crashed < 0 || crashed >= n {
+		return Result{}, fmt.Errorf("fault: crashed node %d outside [0,%d)", crashed, n)
+	}
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	if err != nil {
+		return Result{}, err
+	}
+	out := make([]int64, n)
+	progs := make([]node.Program, n)
+	for id := 0; id < n; id++ {
+		if id == crashed {
+			continue // nil program: the node is dead
+		}
+		progs[id] = core.NodeProgram(keys[id], &out[id], core.Options{})
+	}
+	runRes, err := node.RunPer(nw, progs, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Spec: Spec{Node: crashed, Strategy: Silence, ActivateStage: 1}}
+	if runRes.AnyErr() != nil {
+		res.Verdict = Detected
+		return res, nil
+	}
+	// With a dead node the gather can never complete, so reaching here
+	// would mean the protocol terminated without it — classify by
+	// output correctness to surface any such bug.
+	if cerr := checker.Verify(keys, out, true); cerr != nil {
+		res.Verdict = SilentWrong
+	} else {
+		res.Verdict = CorrectDespiteFault
+	}
+	return res, nil
+}
+
+// Summary tallies verdicts.
+type Summary struct {
+	Total               int
+	Detected            int
+	CorrectDespiteFault int
+	SilentWrong         int
+}
+
+// Summarize folds results into a Summary.
+func Summarize(results []Result) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Total++
+		switch r.Verdict {
+		case Detected:
+			s.Detected++
+		case CorrectDespiteFault:
+			s.CorrectDespiteFault++
+		case SilentWrong:
+			s.SilentWrong++
+		}
+	}
+	return s
+}

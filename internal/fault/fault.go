@@ -1,0 +1,341 @@
+// Package fault implements the paper's Definition 3 fault classes as
+// injectable behaviours: Byzantine processors (which lie maliciously
+// in structured ways), Byzantine links (which corrupt, drop, or
+// duplicate raw messages), and fail-stop silence. It also provides the
+// coverage experiment of Section 4: sweeping strategies × fault sites
+// and reporting whether the constraint predicate detected every
+// corruption (the fail-stop guarantee of Theorem 3).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wire"
+)
+
+// Strategy enumerates Byzantine processor behaviours. Each corresponds
+// to a distinct way a faulty node can attack the sort.
+type Strategy int
+
+const (
+	// KeyLie substitutes a bogus value for every key the node sends.
+	KeyLie Strategy = iota + 1
+	// SplitLie reports a different value for the node's own view entry
+	// to every receiver — the inconsistency attack Φ_C targets.
+	SplitLie
+	// ViewLie corrupts a relayed view entry (a lie about another
+	// node's value).
+	ViewLie
+	// WrongCompare swaps the min/max halves of compare-exchange
+	// replies, violating the schedule's direction.
+	WrongCompare
+	// Silence stops sending entirely (fail-stop behaviour observed by
+	// peers as message absence).
+	Silence
+	// MaskInflation claims knowledge of view slots the exchange
+	// schedule cannot have delivered yet.
+	MaskInflation
+	// StaleReplay re-labels messages with an earlier stage/iteration,
+	// as a faulty node replaying old traffic would.
+	StaleReplay
+)
+
+var strategyNames = map[Strategy]string{
+	KeyLie:        "key-lie",
+	SplitLie:      "split-lie",
+	ViewLie:       "view-lie",
+	WrongCompare:  "wrong-compare",
+	Silence:       "silence",
+	MaskInflation: "mask-inflation",
+	StaleReplay:   "stale-replay",
+}
+
+// String returns the strategy's kebab-case name.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// AllStrategies lists every Byzantine strategy, for sweeps.
+func AllStrategies() []Strategy {
+	return []Strategy{KeyLie, SplitLie, ViewLie, WrongCompare, Silence, MaskInflation, StaleReplay}
+}
+
+// Spec describes one injected processor fault.
+type Spec struct {
+	// Node is the faulty node's label.
+	Node int
+	// Strategy is the Byzantine behaviour.
+	Strategy Strategy
+	// ActivateStage is the first stage at which the fault manifests.
+	// Per environmental assumption 5 all nodes are non-faulty through
+	// the first message exchange, so this must be >= 1 for guaranteed
+	// detection semantics (0 would amount to different input data).
+	ActivateStage int
+	// LieValue parameterizes value-substitution strategies.
+	LieValue int64
+}
+
+// Validate rejects malformed specs.
+func (s Spec) Validate(nodes int) error {
+	if s.Node < 0 || s.Node >= nodes {
+		return fmt.Errorf("fault: node %d outside [0,%d)", s.Node, nodes)
+	}
+	if _, ok := strategyNames[s.Strategy]; !ok {
+		return fmt.Errorf("fault: unknown strategy %d", int(s.Strategy))
+	}
+	if s.ActivateStage < 1 {
+		return fmt.Errorf("fault: activate stage %d violates assumption 5 (must be >= 1)", s.ActivateStage)
+	}
+	return nil
+}
+
+// Tamper builds the message-tampering hook implementing the spec.
+// The hook is stateless with respect to the run and safe to use for a
+// single node's outgoing traffic.
+func (s Spec) Tamper() func(m *wire.Message) *wire.Message {
+	switch s.Strategy {
+	case KeyLie:
+		return s.tamperKeys()
+	case SplitLie:
+		return s.tamperSplitLie()
+	case ViewLie:
+		return s.tamperViewLie()
+	case WrongCompare:
+		return s.tamperWrongCompare()
+	case Silence:
+		return s.tamperSilence()
+	case MaskInflation:
+		return s.tamperMaskInflation()
+	case StaleReplay:
+		return s.tamperStaleReplay()
+	default:
+		return func(m *wire.Message) *wire.Message { return m }
+	}
+}
+
+func (s Spec) active(m *wire.Message) bool {
+	return int(m.Stage) >= s.ActivateStage
+}
+
+func (s Spec) tamperKeys() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if !s.active(m) || m.Kind != wire.KindFTExchange {
+			return m
+		}
+		p, err := wire.DecodeFTExchange(m.Payload)
+		if err != nil {
+			return m
+		}
+		for i := range p.Keys {
+			p.Keys[i] = s.LieValue
+		}
+		buf, err := wire.EncodeFTExchange(p)
+		if err != nil {
+			return m
+		}
+		m.Payload = buf
+		return m
+	}
+}
+
+func (s Spec) tamperSplitLie() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		rewrite := func(v *wire.View) bool {
+			slot := s.Node - int(v.Base)
+			changed := false
+			for i, idx := range v.Mask.Indices() {
+				if idx == slot {
+					b := v.Block(i)
+					for k := range b {
+						b[k] = s.LieValue + int64(m.To) // differs per receiver
+					}
+					changed = true
+				}
+			}
+			return changed
+		}
+		if !s.active(m) {
+			return m
+		}
+		switch m.Kind {
+		case wire.KindFTExchange:
+			p, err := wire.DecodeFTExchange(m.Payload)
+			if err != nil || !rewrite(&p.View) {
+				return m
+			}
+			buf, err := wire.EncodeFTExchange(p)
+			if err != nil {
+				return m
+			}
+			m.Payload = buf
+		case wire.KindVerify:
+			p, err := wire.DecodeVerify(m.Payload)
+			if err != nil || !rewrite(&p.View) {
+				return m
+			}
+			buf, err := wire.EncodeVerify(p)
+			if err != nil {
+				return m
+			}
+			m.Payload = buf
+		}
+		return m
+	}
+}
+
+func (s Spec) tamperViewLie() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if !s.active(m) || m.Kind != wire.KindFTExchange {
+			return m
+		}
+		p, err := wire.DecodeFTExchange(m.Payload)
+		if err != nil || len(p.View.Vals) == 0 {
+			return m
+		}
+		// Corrupt the last relayed entry — typically another node's.
+		p.View.Vals[len(p.View.Vals)-1] = s.LieValue
+		buf, err := wire.EncodeFTExchange(p)
+		if err != nil {
+			return m
+		}
+		m.Payload = buf
+		return m
+	}
+}
+
+func (s Spec) tamperWrongCompare() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if !s.active(m) || m.Kind != wire.KindFTExchange {
+			return m
+		}
+		p, err := wire.DecodeFTExchange(m.Payload)
+		if err != nil || len(p.Keys) < 2 || len(p.Keys)%2 != 0 {
+			return m
+		}
+		half := len(p.Keys) / 2
+		for i := 0; i < half; i++ {
+			p.Keys[i], p.Keys[half+i] = p.Keys[half+i], p.Keys[i]
+		}
+		buf, err := wire.EncodeFTExchange(p)
+		if err != nil {
+			return m
+		}
+		m.Payload = buf
+		return m
+	}
+}
+
+func (s Spec) tamperSilence() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if !s.active(m) {
+			return m
+		}
+		return nil
+	}
+}
+
+func (s Spec) tamperMaskInflation() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if !s.active(m) || m.Kind != wire.KindFTExchange {
+			return m
+		}
+		p, err := wire.DecodeFTExchange(m.Payload)
+		if err != nil {
+			return m
+		}
+		v := &p.View
+		for i := 0; i < int(v.Size); i++ {
+			if v.Mask.Has(i) {
+				continue
+			}
+			v.Mask.Add(i)
+			idxs := v.Mask.Indices()
+			bl := int(v.BlockLen)
+			vals := make([]int64, 0, len(idxs)*bl)
+			vi := 0
+			for _, idx := range idxs {
+				if idx == i {
+					for k := 0; k < bl; k++ {
+						vals = append(vals, s.LieValue)
+					}
+					continue
+				}
+				vals = append(vals, v.Vals[vi*bl:(vi+1)*bl]...)
+				vi++
+			}
+			v.Vals = vals
+			break
+		}
+		buf, err := wire.EncodeFTExchange(p)
+		if err != nil {
+			return m
+		}
+		m.Payload = buf
+		return m
+	}
+}
+
+func (s Spec) tamperStaleReplay() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		if !s.active(m) {
+			return m
+		}
+		m.Stage = 0
+		m.Iter = 0
+		return m
+	}
+}
+
+// --- link faults -----------------------------------------------------------
+
+// LinkCorrupt flips Bits pseudo-random bits of every passing message,
+// implementing a Byzantine link. It is deterministic given Seed.
+type LinkCorrupt struct {
+	rng  *rand.Rand
+	bits int
+}
+
+// NewLinkCorrupt returns a corruptor flipping bits random bits per message.
+func NewLinkCorrupt(seed int64, bits int) *LinkCorrupt {
+	if bits < 1 {
+		bits = 1
+	}
+	return &LinkCorrupt{rng: rand.New(rand.NewSource(seed)), bits: bits}
+}
+
+// Apply implements simnet.LinkFault.
+func (c *LinkCorrupt) Apply(raw []byte) [][]byte {
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	for i := 0; i < c.bits && len(out) > 0; i++ {
+		pos := c.rng.Intn(len(out))
+		out[pos] ^= 1 << uint(c.rng.Intn(8))
+	}
+	return [][]byte{out}
+}
+
+// LinkDrop drops every message after the first Keep messages,
+// modelling a link that dies mid-run.
+type LinkDrop struct {
+	Keep int
+	seen int
+}
+
+// Apply implements simnet.LinkFault.
+func (d *LinkDrop) Apply(raw []byte) [][]byte {
+	d.seen++
+	if d.seen > d.Keep {
+		return nil
+	}
+	return [][]byte{raw}
+}
+
+// LinkDuplicate delivers every message twice — a babbling link.
+type LinkDuplicate struct{}
+
+// Apply implements simnet.LinkFault.
+func (LinkDuplicate) Apply(raw []byte) [][]byte { return [][]byte{raw, raw} }

@@ -1,0 +1,41 @@
+package hypercube
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkECubePath(b *testing.B) {
+	topo := MustNew(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.ECubePath(0, 1023); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisjointPaths(b *testing.B) {
+	for _, dim := range []int{4, 8} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			topo := MustNew(dim)
+			dst := topo.Nodes() - 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := topo.DisjointPaths(0, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHomeSubcube(b *testing.B) {
+	topo := MustNew(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.HomeSubcube(i%17, 12345); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

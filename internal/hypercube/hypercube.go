@@ -1,0 +1,269 @@
+// Package hypercube models the n-dimensional binary hypercube
+// interconnection topology used by the paper's target multicomputers
+// (Ncube, iPSC/2, Symult 2010).
+//
+// An n-dimensional hypercube is a graph G(P, E) with N = 2^n vertices
+// (nodes) labeled 0..N-1. An edge connects nodes i and j iff the binary
+// representations of i and j differ in exactly one bit position. The
+// package provides node/neighbor arithmetic, the paper's "home subcube"
+// SC_{i,j} (Definition 4), the ascending/descending schedule of the
+// bitonic sort, and vertex-disjoint path construction used to reason
+// about the consistency predicate.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxDim is the largest supported hypercube dimension. 30 keeps node IDs
+// and subcube bounds comfortably inside int32 range on all platforms and
+// is far beyond the thousands-of-processors scale the paper considers.
+const MaxDim = 30
+
+// Topology describes an n-dimensional hypercube with N = 2^n nodes.
+// The zero value is not usable; construct with New.
+type Topology struct {
+	dim int
+	n   int
+}
+
+// New returns the hypercube topology of the given dimension.
+// It returns an error when dim is negative or exceeds MaxDim.
+func New(dim int) (Topology, error) {
+	if dim < 0 || dim > MaxDim {
+		return Topology{}, fmt.Errorf("hypercube: dimension %d out of range [0, %d]", dim, MaxDim)
+	}
+	return Topology{dim: dim, n: 1 << uint(dim)}, nil
+}
+
+// MustNew is New but panics on invalid input. It is intended for
+// program initialization and tests where the dimension is a constant.
+func MustNew(dim int) Topology {
+	t, err := New(dim)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Dim returns the hypercube dimension n.
+func (t Topology) Dim() int { return t.dim }
+
+// Nodes returns the node count N = 2^n.
+func (t Topology) Nodes() int { return t.n }
+
+// Contains reports whether id is a valid node label in the topology.
+func (t Topology) Contains(id int) bool { return id >= 0 && id < t.n }
+
+// Partner returns the neighbor of node across dimension bit, that is
+// node XOR 2^bit. An error is returned for an invalid node or bit.
+func (t Topology) Partner(node, bit int) (int, error) {
+	if !t.Contains(node) {
+		return 0, fmt.Errorf("hypercube: node %d outside cube of %d nodes", node, t.n)
+	}
+	if bit < 0 || bit >= t.dim {
+		return 0, fmt.Errorf("hypercube: bit %d outside dimension %d", bit, t.dim)
+	}
+	return node ^ (1 << uint(bit)), nil
+}
+
+// Neighbors returns the n neighbors of node in ascending dimension
+// order. The slice is freshly allocated on each call.
+func (t Topology) Neighbors(node int) ([]int, error) {
+	if !t.Contains(node) {
+		return nil, fmt.Errorf("hypercube: node %d outside cube of %d nodes", node, t.n)
+	}
+	out := make([]int, t.dim)
+	for b := 0; b < t.dim; b++ {
+		out[b] = node ^ (1 << uint(b))
+	}
+	return out, nil
+}
+
+// AreNeighbors reports whether nodes a and b are connected by an edge,
+// i.e. their labels differ in exactly one bit.
+func (t Topology) AreNeighbors(a, b int) bool {
+	if !t.Contains(a) || !t.Contains(b) {
+		return false
+	}
+	return bits.OnesCount32(uint32(a^b)) == 1
+}
+
+// HammingDistance returns the number of bit positions in which the two
+// node labels differ; this is also the routing distance in the cube.
+func HammingDistance(a, b int) int {
+	return bits.OnesCount32(uint32(a ^ b))
+}
+
+// Subcube identifies the home subcube SC_{dim,node} of Definition 4:
+// the aligned subcube of size 2^dim containing a given node. Start and
+// End are the inclusive node-label bounds (SC^S and SC^E in the paper).
+type Subcube struct {
+	// Dim is the subcube dimension i; the subcube holds 2^i nodes.
+	Dim int
+	// Start is SC^S_{i,j}: the lowest node label in the subcube.
+	Start int
+	// End is SC^E_{i,j}: the highest node label in the subcube.
+	End int
+}
+
+// Size returns the number of nodes in the subcube, 2^Dim.
+func (s Subcube) Size() int { return 1 << uint(s.Dim) }
+
+// Contains reports whether node lies inside the subcube.
+func (s Subcube) Contains(node int) bool { return node >= s.Start && node <= s.End }
+
+// LowerHalf returns the aligned sub-subcube holding the lower 2^(Dim-1)
+// labels. It panics if Dim == 0 (a single node has no halves); callers
+// iterate stages starting at Dim >= 1.
+func (s Subcube) LowerHalf() Subcube {
+	if s.Dim == 0 {
+		panic("hypercube: LowerHalf of dimension-0 subcube")
+	}
+	half := s.Size() / 2
+	return Subcube{Dim: s.Dim - 1, Start: s.Start, End: s.Start + half - 1}
+}
+
+// UpperHalf returns the aligned sub-subcube holding the upper 2^(Dim-1)
+// labels. It panics if Dim == 0.
+func (s Subcube) UpperHalf() Subcube {
+	if s.Dim == 0 {
+		panic("hypercube: UpperHalf of dimension-0 subcube")
+	}
+	half := s.Size() / 2
+	return Subcube{Dim: s.Dim - 1, Start: s.Start + half, End: s.End}
+}
+
+// String renders the subcube as SC{dim=i, [start..end]}.
+func (s Subcube) String() string {
+	return fmt.Sprintf("SC{dim=%d, [%d..%d]}", s.Dim, s.Start, s.End)
+}
+
+// HomeSubcube returns SC_{dim,node}: the aligned subcube of dimension
+// dim that contains node. Per Definition 4 it starts at
+// k = node - node mod 2^dim and ends at k + 2^dim - 1.
+func (t Topology) HomeSubcube(dim, node int) (Subcube, error) {
+	if !t.Contains(node) {
+		return Subcube{}, fmt.Errorf("hypercube: node %d outside cube of %d nodes", node, t.n)
+	}
+	if dim < 0 || dim > t.dim {
+		return Subcube{}, fmt.Errorf("hypercube: subcube dimension %d outside [0, %d]", dim, t.dim)
+	}
+	size := 1 << uint(dim)
+	start := node - node%size
+	return Subcube{Dim: dim, Start: start, End: start + size - 1}, nil
+}
+
+// Ascending reports the sort direction for node during stage i of the
+// bitonic schedule (algorithm S_NR, Figure 2): a node keeps the smaller
+// element of a compare-exchange when node mod 2^(i+2) < 2^(i+1), i.e.
+// when bit i+1 of the node label is zero. During the final stage
+// (i = n-1) bit n is implicitly zero for every node, so the whole cube
+// sorts ascending.
+func (t Topology) Ascending(stage, node int) bool {
+	if stage >= t.dim-1 {
+		return true
+	}
+	return node&(1<<uint(stage+1)) == 0
+}
+
+// Active reports whether node is the active member of its stage-(i)
+// iteration-(j) compare-exchange pair: the paper designates the node
+// with a zero in bit j (node mod 2d < d, d = 2^j) as the one that
+// performs the comparison while its partner forwards its value.
+func Active(node, bit int) bool {
+	return node&(1<<uint(bit)) == 0
+}
+
+// Path is a sequence of adjacent node labels, beginning at the source
+// and ending at the destination.
+type Path []int
+
+// Valid reports whether the path is non-empty and every consecutive
+// pair of labels is an edge in the topology.
+func (p Path) Valid(t Topology) bool {
+	if len(p) == 0 {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if !t.Contains(p[i]) {
+			return false
+		}
+		if i > 0 && !t.AreNeighbors(p[i-1], p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ECubePath returns the dimension-ordered (e-cube) route from src to
+// dst: correct differing bits from least to most significant. The path
+// includes both endpoints. E-cube routing is the deadlock-free scheme
+// used by the commercial hypercubes the paper targets.
+func (t Topology) ECubePath(src, dst int) (Path, error) {
+	if !t.Contains(src) || !t.Contains(dst) {
+		return nil, fmt.Errorf("hypercube: path endpoints %d,%d outside cube of %d nodes", src, dst, t.n)
+	}
+	p := Path{src}
+	cur := src
+	for b := 0; b < t.dim; b++ {
+		mask := 1 << uint(b)
+		if (cur^dst)&mask != 0 {
+			cur ^= mask
+			p = append(p, cur)
+		}
+	}
+	return p, nil
+}
+
+// DisjointPaths constructs HammingDistance(src,dst) pairwise
+// vertex-disjoint paths (apart from the shared endpoints) between two
+// distinct nodes, using the classic rotation construction: path k
+// corrects the differing dimensions in the cyclic order starting at
+// the k-th differing bit. Vertex-disjointness of these routes is what
+// lets the consistency predicate Φ_C bound the damage a faulty relay
+// can do (Lemma 6). For src == dst it returns a single trivial path.
+func (t Topology) DisjointPaths(src, dst int) ([]Path, error) {
+	if !t.Contains(src) || !t.Contains(dst) {
+		return nil, fmt.Errorf("hypercube: path endpoints %d,%d outside cube of %d nodes", src, dst, t.n)
+	}
+	if src == dst {
+		return []Path{{src}}, nil
+	}
+	var diff []int
+	for b := 0; b < t.dim; b++ {
+		if (src^dst)&(1<<uint(b)) != 0 {
+			diff = append(diff, b)
+		}
+	}
+	paths := make([]Path, 0, len(diff))
+	for k := range diff {
+		p := Path{src}
+		cur := src
+		for s := 0; s < len(diff); s++ {
+			bit := diff[(k+s)%len(diff)]
+			cur ^= 1 << uint(bit)
+			p = append(p, cur)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// Bit returns bit b of the node label as 0 or 1.
+func Bit(node, b int) int { return (node >> uint(b)) & 1 }
+
+// Log2 returns floor(log2(x)) for x >= 1, and an error otherwise. It is
+// used to recover the stage/subcube dimension from sizes.
+func Log2(x int) (int, error) {
+	if x < 1 {
+		return 0, fmt.Errorf("hypercube: log2 of non-positive value %d", x)
+	}
+	return bits.Len(uint(x)) - 1, nil
+}
+
+// IsPow2 reports whether x is a positive power of two. The bitonic
+// algorithms in this repository require power-of-two list and cube
+// sizes, matching the paper's N = 2^n assumption.
+func IsPow2(x int) bool { return x > 0 && x&(x-1) == 0 }

@@ -1,0 +1,438 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		dim     int
+		wantErr bool
+		wantN   int
+	}{
+		{name: "dim0", dim: 0, wantN: 1},
+		{name: "dim1", dim: 1, wantN: 2},
+		{name: "dim5", dim: 5, wantN: 32},
+		{name: "dim max", dim: MaxDim, wantN: 1 << MaxDim},
+		{name: "negative", dim: -1, wantErr: true},
+		{name: "too large", dim: MaxDim + 1, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := New(tc.dim)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(%d) error = %v, wantErr = %v", tc.dim, err, tc.wantErr)
+			}
+			if err == nil && topo.Nodes() != tc.wantN {
+				t.Errorf("Nodes() = %d, want %d", topo.Nodes(), tc.wantN)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(-1) did not panic")
+		}
+	}()
+	MustNew(-1)
+}
+
+func TestPartner(t *testing.T) {
+	topo := MustNew(3)
+	tests := []struct {
+		node, bit, want int
+	}{
+		{0, 0, 1}, {0, 1, 2}, {0, 2, 4},
+		{5, 0, 4}, {5, 1, 7}, {5, 2, 1},
+		{7, 2, 3},
+	}
+	for _, tc := range tests {
+		got, err := topo.Partner(tc.node, tc.bit)
+		if err != nil {
+			t.Fatalf("Partner(%d,%d) unexpected error: %v", tc.node, tc.bit, err)
+		}
+		if got != tc.want {
+			t.Errorf("Partner(%d,%d) = %d, want %d", tc.node, tc.bit, got, tc.want)
+		}
+	}
+	if _, err := topo.Partner(8, 0); err == nil {
+		t.Error("Partner(8,0) on dim-3 cube: want error, got nil")
+	}
+	if _, err := topo.Partner(0, 3); err == nil {
+		t.Error("Partner(0,3) on dim-3 cube: want error, got nil")
+	}
+	if _, err := topo.Partner(0, -1); err == nil {
+		t.Error("Partner(0,-1): want error, got nil")
+	}
+}
+
+func TestPartnerIsInvolution(t *testing.T) {
+	topo := MustNew(4)
+	for node := 0; node < topo.Nodes(); node++ {
+		for b := 0; b < topo.Dim(); b++ {
+			p, err := topo.Partner(node, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := topo.Partner(p, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != node {
+				t.Fatalf("Partner(Partner(%d,%d)) = %d, want %d", node, b, back, node)
+			}
+			if !topo.AreNeighbors(node, p) {
+				t.Fatalf("node %d and partner %d not neighbors", node, p)
+			}
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	topo := MustNew(3)
+	got, err := topo.Neighbors(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 7, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(5) = %v, want %v", got, want)
+		}
+	}
+	if _, err := topo.Neighbors(-1); err == nil {
+		t.Error("Neighbors(-1): want error, got nil")
+	}
+}
+
+func TestNeighborSymmetryProperty(t *testing.T) {
+	topo := MustNew(5)
+	f := func(a, b uint8) bool {
+		x := int(a) % topo.Nodes()
+		y := int(b) % topo.Nodes()
+		return topo.AreNeighbors(x, y) == topo.AreNeighbors(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 7, 3}, {5, 6, 2}, {15, 0, 4},
+	}
+	for _, tc := range tests {
+		if got := HammingDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("HammingDistance(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHomeSubcube(t *testing.T) {
+	topo := MustNew(3)
+	tests := []struct {
+		dim, node, wantStart, wantEnd int
+	}{
+		{0, 5, 5, 5},
+		{1, 5, 4, 5},
+		{2, 5, 4, 7},
+		{3, 5, 0, 7},
+		{1, 2, 2, 3},
+		{2, 2, 0, 3},
+	}
+	for _, tc := range tests {
+		sc, err := topo.HomeSubcube(tc.dim, tc.node)
+		if err != nil {
+			t.Fatalf("HomeSubcube(%d,%d): %v", tc.dim, tc.node, err)
+		}
+		if sc.Start != tc.wantStart || sc.End != tc.wantEnd {
+			t.Errorf("HomeSubcube(%d,%d) = [%d..%d], want [%d..%d]",
+				tc.dim, tc.node, sc.Start, sc.End, tc.wantStart, tc.wantEnd)
+		}
+		if !sc.Contains(tc.node) {
+			t.Errorf("HomeSubcube(%d,%d) does not contain its own node", tc.dim, tc.node)
+		}
+		if sc.Size() != 1<<uint(tc.dim) {
+			t.Errorf("Size() = %d, want %d", sc.Size(), 1<<uint(tc.dim))
+		}
+	}
+	if _, err := topo.HomeSubcube(4, 0); err == nil {
+		t.Error("HomeSubcube(4,0) on dim-3 cube: want error")
+	}
+	if _, err := topo.HomeSubcube(1, 99); err == nil {
+		t.Error("HomeSubcube(1,99): want error")
+	}
+}
+
+// Every dim-i subcube partitions cleanly: two nodes share a home
+// subcube iff their labels agree above bit i.
+func TestHomeSubcubePartitionProperty(t *testing.T) {
+	topo := MustNew(4)
+	for dim := 0; dim <= topo.Dim(); dim++ {
+		for a := 0; a < topo.Nodes(); a++ {
+			for b := 0; b < topo.Nodes(); b++ {
+				sa, err := topo.HomeSubcube(dim, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameCube := sa.Contains(b)
+				samePrefix := a>>uint(dim) == b>>uint(dim)
+				if sameCube != samePrefix {
+					t.Fatalf("dim=%d a=%d b=%d: contains=%v samePrefix=%v", dim, a, b, sameCube, samePrefix)
+				}
+			}
+		}
+	}
+}
+
+func TestSubcubeHalves(t *testing.T) {
+	topo := MustNew(3)
+	sc, err := topo.HomeSubcube(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := sc.LowerHalf(), sc.UpperHalf()
+	if lo.Start != 4 || lo.End != 5 || hi.Start != 6 || hi.End != 7 {
+		t.Fatalf("halves of %v = %v / %v", sc, lo, hi)
+	}
+	if lo.Dim != 1 || hi.Dim != 1 {
+		t.Fatalf("half dims = %d,%d, want 1,1", lo.Dim, hi.Dim)
+	}
+}
+
+func TestSubcubeHalfOfPointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LowerHalf on dim-0 subcube did not panic")
+		}
+	}()
+	Subcube{Dim: 0, Start: 3, End: 3}.LowerHalf()
+}
+
+func TestAscendingSchedule(t *testing.T) {
+	topo := MustNew(3)
+	// Stage 0: direction from bit 1 of the node label.
+	wantStage0 := []bool{true, true, false, false, true, true, false, false}
+	for node, want := range wantStage0 {
+		if got := topo.Ascending(0, node); got != want {
+			t.Errorf("Ascending(0,%d) = %v, want %v", node, got, want)
+		}
+	}
+	// Stage 1: direction from bit 2.
+	wantStage1 := []bool{true, true, true, true, false, false, false, false}
+	for node, want := range wantStage1 {
+		if got := topo.Ascending(1, node); got != want {
+			t.Errorf("Ascending(1,%d) = %v, want %v", node, got, want)
+		}
+	}
+	// Final stage: everything ascends.
+	for node := 0; node < topo.Nodes(); node++ {
+		if !topo.Ascending(2, node) {
+			t.Errorf("Ascending(final,%d) = false, want true", node)
+		}
+	}
+}
+
+func TestAscendingAgreesAcrossHomeSubcube(t *testing.T) {
+	// All nodes of a dim-(i+1) home subcube must share one direction:
+	// the flag depends only on bit i+1, constant within the subcube.
+	topo := MustNew(4)
+	for stage := 0; stage < topo.Dim(); stage++ {
+		for node := 0; node < topo.Nodes(); node++ {
+			sc, err := topo.HomeSubcube(stage+1, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := topo.Ascending(stage, sc.Start)
+			if got := topo.Ascending(stage, node); got != want {
+				t.Fatalf("stage %d node %d: direction %v differs from subcube base %v", stage, node, got, want)
+			}
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	tests := []struct {
+		node, bit int
+		want      bool
+	}{
+		{0, 0, true}, {1, 0, false}, {2, 0, true}, {2, 1, false}, {5, 2, false}, {3, 2, true},
+	}
+	for _, tc := range tests {
+		if got := Active(tc.node, tc.bit); got != tc.want {
+			t.Errorf("Active(%d,%d) = %v, want %v", tc.node, tc.bit, got, tc.want)
+		}
+	}
+}
+
+func TestECubePath(t *testing.T) {
+	topo := MustNew(4)
+	p, err := topo.ECubePath(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(topo) {
+		t.Fatalf("path %v not valid", p)
+	}
+	if p[0] != 3 || p[len(p)-1] != 12 {
+		t.Fatalf("path %v endpoints wrong", p)
+	}
+	if len(p) != HammingDistance(3, 12)+1 {
+		t.Fatalf("path %v length %d, want %d", p, len(p), HammingDistance(3, 12)+1)
+	}
+	if _, err := topo.ECubePath(0, 99); err == nil {
+		t.Error("ECubePath to invalid node: want error")
+	}
+}
+
+func TestECubePathProperty(t *testing.T) {
+	topo := MustNew(5)
+	f := func(a, b uint8) bool {
+		src := int(a) % topo.Nodes()
+		dst := int(b) % topo.Nodes()
+		p, err := topo.ECubePath(src, dst)
+		if err != nil {
+			return false
+		}
+		return p.Valid(topo) && p[0] == src && p[len(p)-1] == dst &&
+			len(p) == HammingDistance(src, dst)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointPaths(t *testing.T) {
+	topo := MustNew(4)
+	src, dst := 1, 14 // Hamming distance 4
+	paths, err := topo.DisjointPaths(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != HammingDistance(src, dst) {
+		t.Fatalf("got %d paths, want %d", len(paths), HammingDistance(src, dst))
+	}
+	seen := map[int][]int{} // interior node -> path indexes
+	for i, p := range paths {
+		if !p.Valid(topo) {
+			t.Fatalf("path %d = %v invalid", i, p)
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("path %d endpoints wrong: %v", i, p)
+		}
+		for _, v := range p[1 : len(p)-1] {
+			seen[v] = append(seen[v], i)
+		}
+	}
+	for v, idxs := range seen {
+		if len(idxs) > 1 {
+			t.Fatalf("interior node %d shared by paths %v", v, idxs)
+		}
+	}
+}
+
+func TestDisjointPathsTrivial(t *testing.T) {
+	topo := MustNew(3)
+	paths, err := topo.DisjointPaths(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 1 || paths[0][0] != 5 {
+		t.Fatalf("DisjointPaths(5,5) = %v", paths)
+	}
+}
+
+func TestDisjointPathsProperty(t *testing.T) {
+	topo := MustNew(4)
+	for src := 0; src < topo.Nodes(); src++ {
+		for dst := 0; dst < topo.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			paths, err := topo.DisjointPaths(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interior := map[int]bool{}
+			for _, p := range paths {
+				if !p.Valid(topo) {
+					t.Fatalf("src=%d dst=%d invalid path %v", src, dst, p)
+				}
+				for _, v := range p[1 : len(p)-1] {
+					if interior[v] {
+						t.Fatalf("src=%d dst=%d: interior vertex %d reused", src, dst, v)
+					}
+					interior[v] = true
+				}
+			}
+		}
+	}
+}
+
+func TestPathValid(t *testing.T) {
+	topo := MustNew(3)
+	tests := []struct {
+		name string
+		p    Path
+		want bool
+	}{
+		{"empty", Path{}, false},
+		{"single", Path{3}, true},
+		{"edge", Path{3, 7}, true},
+		{"non-edge hop", Path{0, 3}, false},
+		{"out of range", Path{0, 8}, false},
+		{"long valid", Path{0, 1, 3, 7}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Valid(topo); got != tc.want {
+				t.Errorf("Valid(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBitAndLog2(t *testing.T) {
+	if Bit(5, 0) != 1 || Bit(5, 1) != 0 || Bit(5, 2) != 1 {
+		t.Error("Bit(5, ·) wrong")
+	}
+	for _, tc := range []struct{ x, want int }{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}} {
+		got, err := Log2(tc.x)
+		if err != nil {
+			t.Fatalf("Log2(%d): %v", tc.x, err)
+		}
+		if got != tc.want {
+			t.Errorf("Log2(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if _, err := Log2(0); err == nil {
+		t.Error("Log2(0): want error")
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, x := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(x) {
+			t.Errorf("IsPow2(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []int{0, -1, 3, 6, 12, 1000} {
+		if IsPow2(x) {
+			t.Errorf("IsPow2(%d) = true, want false", x)
+		}
+	}
+}
+
+func TestSubcubeString(t *testing.T) {
+	s := Subcube{Dim: 2, Start: 4, End: 7}
+	if got := s.String(); got != "SC{dim=2, [4..7]}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package plot renders simple ASCII line charts for the experiment
+// harness, so the reproduced Figures 6–8 can be *seen* as the curves
+// the paper plots, not only read as tables. It is deliberately tiny:
+// log-scale support for the run-time axes, one rune per series,
+// labelled axes.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// Rune marks the series' points in the chart.
+	Rune rune
+	// Y holds one value per shared X position.
+	Y []float64
+}
+
+// Config parameterizes a chart.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks are the labels of the shared X positions (e.g. cube sizes).
+	XTicks []string
+	// Width and Height are the plot area size in characters; zero
+	// means 64×20.
+	Width  int
+	Height int
+	// LogY plots the Y axis in log10 space (run times spanning orders
+	// of magnitude, as in the paper's Figure 7).
+	LogY bool
+}
+
+// Render draws the chart. All series must have len(Y) == len(XTicks).
+func Render(cfg Config, series []Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	nx := len(cfg.XTicks)
+	if nx < 2 {
+		return "", fmt.Errorf("plot: need at least 2 x positions, got %d", nx)
+	}
+	for _, s := range series {
+		if len(s.Y) != nx {
+			return "", fmt.Errorf("plot: series %q has %d points for %d ticks", s.Name, len(s.Y), nx)
+		}
+	}
+	w, h := cfg.Width, cfg.Height
+	if w == 0 {
+		w = 64
+	}
+	if h == 0 {
+		h = 20
+	}
+
+	// Value transform and range.
+	tr := func(v float64) (float64, error) {
+		if !cfg.LogY {
+			return v, nil
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("plot: log scale requires positive values, got %v", v)
+		}
+		return math.Log10(v), nil
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			tv, err := tr(v)
+			if err != nil {
+				return "", err
+			}
+			if tv < min {
+				min = tv
+			}
+			if tv > max {
+				max = tv
+			}
+		}
+	}
+	if max == min {
+		max = min + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	// Plot points with linear interpolation between x positions.
+	for _, s := range series {
+		prevCol, prevRow := -1, -1
+		for i, v := range s.Y {
+			tv, err := tr(v)
+			if err != nil {
+				return "", err
+			}
+			col := i * (w - 1) / (nx - 1)
+			row := h - 1 - int(math.Round((tv-min)/(max-min)*float64(h-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			if prevCol >= 0 {
+				drawSegment(grid, prevCol, prevRow, col, row, s.Rune)
+			}
+			grid[row][col] = s.Rune
+			prevCol, prevRow = col, row
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop, yBot := max, min
+	if cfg.LogY {
+		yTop, yBot = math.Pow(10, max), math.Pow(10, min)
+	}
+	label := cfg.YLabel
+	if cfg.LogY {
+		label += " (log)"
+	}
+	fmt.Fprintf(&b, "%s\n", label)
+	for r := 0; r < h; r++ {
+		edge := "|"
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%11.3g +%s\n", yTop, string(grid[r]))
+			continue
+		case h - 1:
+			fmt.Fprintf(&b, "%11.3g +%s\n", yBot, string(grid[r]))
+			continue
+		}
+		fmt.Fprintf(&b, "%11s %s%s\n", "", edge, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%11s +%s\n", "", strings.Repeat("-", w))
+	// X tick labels, first and last.
+	fmt.Fprintf(&b, "%12s%-*s%s   (%s)\n", "", w-len(cfg.XTicks[nx-1]), cfg.XTicks[0], cfg.XTicks[nx-1], cfg.XLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", s.Rune, s.Name)
+	}
+	return b.String(), nil
+}
+
+// drawSegment draws a coarse line between two grid points, leaving
+// endpoints to the caller.
+func drawSegment(grid [][]rune, c0, r0, c1, r1 int, mark rune) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if r >= 0 && r < len(grid) && c >= 0 && c < len(grid[r]) && grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out, err := Render(Config{
+		Title:  "test chart",
+		XLabel: "N",
+		YLabel: "ticks",
+		XTicks: []string{"4", "8", "16"},
+	}, []Series{
+		{Name: "up", Rune: '*', Y: []float64{1, 2, 3}},
+		{Name: "down", Rune: 'o', Y: []float64{3, 2, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"test chart", "ticks", "* up", "o down", "(N)", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	out, err := Render(Config{
+		XTicks: []string{"a", "b", "c", "d"},
+		YLabel: "t",
+		LogY:   true,
+	}, []Series{{Name: "s", Rune: '#', Y: []float64{10, 100, 1000, 10000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(log)") {
+		t.Errorf("missing log marker:\n%s", out)
+	}
+	// Log scale makes the exponential curve a straight line: the marks
+	// should appear on a diagonal — at least assert both extremes plot.
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("top label missing:\n%s", out)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := Render(Config{XTicks: []string{"1", "2"}}, nil); err == nil {
+		t.Error("no series: want error")
+	}
+	if _, err := Render(Config{XTicks: []string{"1"}},
+		[]Series{{Name: "s", Rune: '*', Y: []float64{1}}}); err == nil {
+		t.Error("one tick: want error")
+	}
+	if _, err := Render(Config{XTicks: []string{"1", "2"}},
+		[]Series{{Name: "s", Rune: '*', Y: []float64{1}}}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Render(Config{XTicks: []string{"1", "2"}, LogY: true},
+		[]Series{{Name: "s", Rune: '*', Y: []float64{0, 1}}}); err == nil {
+		t.Error("log of zero: want error")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	out, err := Render(Config{XTicks: []string{"1", "2"}},
+		[]Series{{Name: "flat", Rune: '*', Y: []float64{5, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestSegmentsConnectDistantPoints(t *testing.T) {
+	out, err := Render(Config{XTicks: []string{"1", "2"}, Width: 40, Height: 10},
+		[]Series{{Name: "steep", Rune: '*', Y: []float64{0, 100}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("no interpolation dots on a steep segment:\n%s", out)
+	}
+}

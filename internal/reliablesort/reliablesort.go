@@ -1,0 +1,208 @@
+// Package reliablesort is the high-level convenience API over the
+// fault-tolerant sorting machinery: it takes an ordinary Go slice,
+// chooses a cube size, pads to the power-of-two geometry the bitonic
+// algorithms require, distributes the data, runs the fault-tolerant
+// block sort, verifies the result against the Theorem 1 oracle, and
+// returns a plain sorted slice.
+//
+// This is the entry point a downstream user who just wants "a sort
+// that can never silently lie" calls; the packages it composes
+// (internal/core, internal/blocksort, internal/simnet) remain
+// available for applications that manage their own distribution.
+package reliablesort
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/blocksort"
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/simnet"
+)
+
+// ErrFaultDetected is returned when the constraint predicate
+// fail-stopped the sort. The system delivered no (possibly corrupt)
+// result; Diagnose the returned *FaultError for details.
+var ErrFaultDetected = errors.New("reliablesort: fault detected, sort fail-stopped")
+
+// FaultError carries the diagnostics of a fail-stopped run.
+type FaultError struct {
+	// HostErrors are the ERROR signals the host collected.
+	HostErrors []core.HostError
+	// NodeErr is the first node-level error.
+	NodeErr error
+}
+
+// Error implements the error interface.
+func (e *FaultError) Error() string {
+	if len(e.HostErrors) > 0 {
+		he := e.HostErrors[0]
+		return fmt.Sprintf("reliablesort: fault detected: node %d stage %d: %s predicate: %s",
+			he.Node, he.Stage, he.Predicate, he.Detail)
+	}
+	return fmt.Sprintf("reliablesort: fault detected: %v", e.NodeErr)
+}
+
+// Unwrap exposes ErrFaultDetected for errors.Is.
+func (e *FaultError) Unwrap() error { return ErrFaultDetected }
+
+// Options configures a Sort call. The zero value sorts ascending on an
+// automatically sized cube.
+type Options struct {
+	// Descending sorts in non-increasing order.
+	Descending bool
+	// Dim forces the hypercube dimension; 0 means choose automatically
+	// (the smallest cube that keeps blocks reasonably sized, capped at
+	// MaxAutoDim).
+	Dim int
+	// RecvTimeout bounds absence detection; 0 means 30 seconds.
+	RecvTimeout time.Duration
+}
+
+// MaxAutoDim caps the automatically chosen cube dimension (64 nodes):
+// beyond that the goroutine count costs more than the simulated
+// parallelism returns.
+const MaxAutoDim = 6
+
+// Stats reports what a Sort run cost.
+type Stats struct {
+	// Nodes and BlockLen are the chosen geometry (including padding).
+	Nodes    int
+	BlockLen int
+	// Padded is the number of sentinel keys added to fill the geometry.
+	Padded int
+	// Makespan is the virtual completion time in ticks.
+	Makespan int64
+	// Msgs and Bytes are the network traffic totals.
+	Msgs  int64
+	Bytes int64
+}
+
+// Sort returns a new slice with the elements of keys in the requested
+// order, sorted by the fault-tolerant distributed block bitonic sort
+// and verified end to end. It returns a *FaultError (matching
+// ErrFaultDetected) if any constraint predicate fired — by Theorem 3
+// a single Byzantine processor cannot cause a silently wrong result.
+func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
+	var stats Stats
+	if len(keys) == 0 {
+		return []int64{}, stats, nil
+	}
+	dim := opts.Dim
+	if dim == 0 {
+		dim = autoDim(len(keys))
+	}
+	if dim < 0 || dim > hypercube.MaxDim {
+		return nil, stats, fmt.Errorf("reliablesort: dimension %d out of range [0,%d]", dim, hypercube.MaxDim)
+	}
+	timeout := opts.RecvTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+
+	n := 1 << uint(dim)
+	m := (len(keys) + n - 1) / n
+	if m == 0 {
+		m = 1
+	}
+	total := n * m
+	stats.Nodes = n
+	stats.BlockLen = m
+	stats.Padded = total - len(keys)
+
+	// Pad with +inf sentinels so they land at the top of the ascending
+	// order and can be stripped from the tail. For a descending sort
+	// we negate all keys, sort ascending, and negate back, so the
+	// sentinel is +inf in the negated domain as well. Math.MaxInt64
+	// inputs are therefore rejected rather than silently confused with
+	// sentinels (MinInt64 likewise for descending).
+	working := make([]int64, 0, total)
+	for _, k := range keys {
+		if opts.Descending {
+			if k == math.MinInt64 {
+				return nil, stats, fmt.Errorf("reliablesort: key %d is reserved for padding in descending sorts", k)
+			}
+			working = append(working, -k)
+		} else {
+			if k == math.MaxInt64 {
+				return nil, stats, fmt.Errorf("reliablesort: key %d is reserved for padding", k)
+			}
+			working = append(working, k)
+		}
+	}
+	for i := len(working); i < total; i++ {
+		working = append(working, math.MaxInt64)
+	}
+
+	blocks := make([][]int64, n)
+	for i := range blocks {
+		blocks[i] = working[i*m : (i+1)*m : (i+1)*m]
+	}
+
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	if err != nil {
+		return nil, stats, fmt.Errorf("reliablesort: %w", err)
+	}
+	oc, err := blocksort.RunFT(nw, blocks)
+	if err != nil {
+		return nil, stats, fmt.Errorf("reliablesort: %w", err)
+	}
+	stats.Makespan = int64(oc.Result.Makespan())
+	stats.Msgs = oc.Result.Metrics.TotalMsgs()
+	stats.Bytes = oc.Result.Metrics.TotalBytes()
+	if oc.Detected() {
+		return nil, stats, &FaultError{HostErrors: oc.HostErrors, NodeErr: oc.Result.FirstNodeErr()}
+	}
+
+	flat := make([]int64, 0, total)
+	for _, b := range oc.SortedBlocks {
+		flat = append(flat, b...)
+	}
+	// Belt and braces: the distributed predicates already verified the
+	// run; re-verify locally against the Theorem 1 oracle so the
+	// library's contract does not rest on a single mechanism.
+	if err := checker.Verify(working, flat, true); err != nil {
+		return nil, stats, fmt.Errorf("reliablesort: post-verification: %w", err)
+	}
+	flat = flat[:len(keys)] // strip sentinels from the tail
+	out := make([]int64, len(flat))
+	for i, v := range flat {
+		if opts.Descending {
+			out[i] = -v
+		} else {
+			out[i] = v
+		}
+	}
+	return out, stats, nil
+}
+
+// autoDim picks the smallest dimension whose cube keeps blocks at or
+// under 512 keys, capped at MaxAutoDim.
+func autoDim(keyCount int) int {
+	dim := 0
+	for dim < MaxAutoDim && keyCount > (1<<uint(dim))*512 {
+		dim++
+	}
+	if dim < 2 && keyCount >= 4 {
+		dim = 2 // a 1- or 2-node "cube" defeats the purpose
+	}
+	return dim
+}
+
+// IsSorted reports whether xs is ordered per the options — a
+// convenience for callers asserting on results.
+func IsSorted(xs []int64, opts Options) bool {
+	for i := 1; i < len(xs); i++ {
+		if opts.Descending && xs[i-1] < xs[i] {
+			return false
+		}
+		if !opts.Descending && xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}

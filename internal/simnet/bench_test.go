@@ -1,0 +1,59 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkLinkRoundTrip measures one encode-send-recv-decode cycle
+// across a hypercube link, the inner loop of every simulated protocol.
+func BenchmarkLinkRoundTrip(b *testing.B) {
+	nw, err := New(Config{Dim: 1, RecvTimeout: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := nw.Endpoint(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := nw.Endpoint(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := wire.Message{Kind: wire.KindExchange,
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{42}})}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(0, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostRoundTrip(b *testing.B) {
+	nw, err := New(Config{Dim: 1, RecvTimeout: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep, err := nw.Endpoint(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := nw.Host()
+	msg := wire.Message{Kind: wire.KindHostUpload,
+		Payload: wire.EncodeHost(wire.HostPayload{Keys: []int64{42}})}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep.SendHost(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package simnet simulates the paper's target machine: a hypercube
+// multicomputer (Ncube-class) of autonomous nodes with private memory,
+// connected by point-to-point links, plus a reliable host processor.
+//
+// The simulator substitutes for the physical Ncube per the environmental
+// assumptions of the paper:
+//
+//  1. node-to-node links and processors may fail in Byzantine ways —
+//     modelled by LinkFault interceptors and by faulty node programs;
+//  2. the host and host links are reliable — host channels bypass the
+//     fault interceptors entirely;
+//  3. message passing over point-to-point links is the only
+//     communication; there is no atomic broadcast — a node can only
+//     Send/Recv across a single cube dimension at a time;
+//  4. the absence of a message is detectable — Recv enforces a timeout
+//     and surfaces ErrAbsent.
+//
+// Time is virtual: every endpoint owns a deterministic tick clock.
+// Sending charges the sender, receiving charges the receiver, and a
+// message arrives at sender-departure-time + latency. The makespan of
+// a run is the maximum node clock, which plays the role of the paper's
+// measured "clock ticks".
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hypercube"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Compile-time checks: simnet implements the transport abstraction.
+var (
+	_ transport.Network  = (*Network)(nil)
+	_ transport.Endpoint = (*Endpoint)(nil)
+	_ transport.Host     = (*Host)(nil)
+)
+
+// Ticks is a quantity of virtual time (alias of transport.Ticks).
+type Ticks = transport.Ticks
+
+// CostModel assigns virtual-time costs to primitive operations
+// (alias of transport.CostModel).
+type CostModel = transport.CostModel
+
+// DefaultCostModel returns the experiment harness's cost model; see
+// transport.DefaultCostModel.
+func DefaultCostModel() CostModel { return transport.DefaultCostModel() }
+
+// ErrAbsent is returned by Recv when no message arrives within the
+// configured timeout. Per environmental assumption 4, absence of an
+// expected message is itself an error the application must surface.
+var ErrAbsent = errors.New("simnet: expected message absent (timeout)")
+
+// ErrLinkBackpressure is returned when a link queue is full. The
+// protocols in this repository exchange at most a handful of messages
+// per link per step, so hitting this indicates a protocol bug rather
+// than a load condition.
+var ErrLinkBackpressure = errors.New("simnet: link queue full")
+
+// linkQueueDepth is the modelled per-link hardware queue. The bitonic
+// protocols keep at most a few messages in flight per link per
+// exchange, so this depth makes sends non-blocking while still
+// surfacing runaway senders via ErrLinkBackpressure. (The usual "size
+// one or none" channel guidance is intentionally relaxed here: the
+// queue depth is the modelled quantity.)
+const linkQueueDepth = 32
+
+// packet is a message in flight with its virtual arrival time.
+type packet struct {
+	raw     []byte
+	arrival Ticks
+}
+
+// LinkFault intercepts traffic on one directed link. Apply receives
+// the encoded message and returns the list of raw messages actually
+// delivered: return nil to drop, a modified buffer to corrupt, or
+// multiple buffers to duplicate. Implementations live in
+// internal/fault; simnet only defines the seam.
+type LinkFault interface {
+	Apply(raw []byte) [][]byte
+}
+
+// Metrics aggregates traffic counters for a run. Counters are atomic;
+// snapshots are taken with Snapshot after the run completes.
+type Metrics struct {
+	msgs  [8]atomic.Int64 // indexed by wire.Kind
+	bytes [8]atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of the traffic counters
+// (alias of transport.MetricsSnapshot).
+type MetricsSnapshot = transport.MetricsSnapshot
+
+func (m *Metrics) record(kind wire.Kind, n int) {
+	if int(kind) < len(m.msgs) {
+		m.msgs[kind].Add(1)
+		m.bytes[kind].Add(int64(n))
+	}
+}
+
+// Snapshot copies the counters into a map-based view.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		MsgsByKind:  make(map[wire.Kind]int64),
+		BytesByKind: make(map[wire.Kind]int64),
+	}
+	for k := wire.Kind(1); int(k) < len(m.msgs); k++ {
+		if n := m.msgs[k].Load(); n != 0 {
+			s.MsgsByKind[k] = n
+			s.BytesByKind[k] = m.bytes[k].Load()
+		}
+	}
+	return s
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Dim is the hypercube dimension n; the network has 2^n nodes.
+	Dim int
+	// Cost is the virtual-time cost model; zero value means DefaultCostModel.
+	Cost CostModel
+	// RecvTimeout bounds how long a Recv waits in wall-clock time
+	// before declaring the message absent. Zero means 2 seconds.
+	RecvTimeout time.Duration
+}
+
+// Network is one simulated multicomputer instance: the links, the host
+// mailboxes, the metrics, and any installed link faults. Create one
+// per run with New; it is not reusable across runs.
+type Network struct {
+	topo        hypercube.Topology
+	cost        CostModel
+	recvTimeout time.Duration
+
+	// links[node][bit] is the inbound queue at node for messages from
+	// its partner across dimension bit.
+	links [][]chan packet
+	// hostIn is the host's inbound mailbox (any node -> host).
+	hostIn chan packet
+	// hostOut[node] is node's inbound mailbox for host messages.
+	hostOut []chan packet
+
+	mu     sync.RWMutex
+	faults map[[2]int][]LinkFault // key: {from, to}
+
+	metrics Metrics
+}
+
+// New constructs a network for the given configuration.
+func New(cfg Config) (*Network, error) {
+	topo, err := hypercube.New(cfg.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	cost := cfg.Cost
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel()
+	}
+	timeout := cfg.RecvTimeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	n := topo.Nodes()
+	net := &Network{
+		topo:        topo,
+		cost:        cost,
+		recvTimeout: timeout,
+		links:       make([][]chan packet, n),
+		hostIn:      make(chan packet, 4*n+16),
+		hostOut:     make([]chan packet, n),
+		faults:      make(map[[2]int][]LinkFault),
+	}
+	for id := 0; id < n; id++ {
+		net.links[id] = make([]chan packet, topo.Dim())
+		for b := 0; b < topo.Dim(); b++ {
+			net.links[id][b] = make(chan packet, linkQueueDepth)
+		}
+		net.hostOut[id] = make(chan packet, linkQueueDepth)
+	}
+	return net, nil
+}
+
+// Topology returns the underlying hypercube.
+func (nw *Network) Topology() hypercube.Topology { return nw.topo }
+
+// Cost returns the network's cost model.
+func (nw *Network) Cost() CostModel { return nw.cost }
+
+// Metrics returns a snapshot of the traffic counters.
+func (nw *Network) Metrics() MetricsSnapshot { return nw.metrics.Snapshot() }
+
+// InstallLinkFault attaches a fault interceptor to the directed link
+// from -> to. Multiple faults compose in installation order. Host
+// links are reliable by assumption and cannot be faulted.
+func (nw *Network) InstallLinkFault(from, to int, f LinkFault) error {
+	if !nw.topo.AreNeighbors(from, to) {
+		return fmt.Errorf("simnet: %d -> %d is not a hypercube link", from, to)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	key := [2]int{from, to}
+	nw.faults[key] = append(nw.faults[key], f)
+	return nil
+}
+
+func (nw *Network) linkFaults(from, to int) []LinkFault {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return nw.faults[[2]int{from, to}]
+}
+
+// Endpoint is a node's handle on the network. It owns the node's
+// virtual clock and is confined to that node's goroutine: none of its
+// methods are safe for concurrent use.
+type Endpoint struct {
+	net *Network
+	id  int
+
+	clock     Ticks
+	commTicks Ticks
+	compTicks Ticks
+}
+
+// Endpoint returns the endpoint for a node. Call once per node before
+// starting its goroutine.
+func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
+	if !nw.topo.Contains(id) {
+		return nil, fmt.Errorf("simnet: node %d outside cube of %d nodes", id, nw.topo.Nodes())
+	}
+	return &Endpoint{net: nw, id: id}, nil
+}
+
+// ID returns the node label.
+func (e *Endpoint) ID() int { return e.id }
+
+// Topology returns the hypercube the endpoint belongs to.
+func (e *Endpoint) Topology() hypercube.Topology { return e.net.topo }
+
+// Clock returns the node's current virtual time.
+func (e *Endpoint) Clock() Ticks { return e.clock }
+
+// CommTicks returns the virtual time this node spent on communication.
+func (e *Endpoint) CommTicks() Ticks { return e.commTicks }
+
+// CompTicks returns the virtual time this node spent computing.
+func (e *Endpoint) CompTicks() Ticks { return e.compTicks }
+
+// Compute advances the node clock by a computation cost.
+func (e *Endpoint) Compute(t Ticks) {
+	if t < 0 {
+		t = 0
+	}
+	e.clock += t
+	e.compTicks += t
+}
+
+// ChargeCompare charges the cost of n key comparisons.
+func (e *Endpoint) ChargeCompare(n int) { e.Compute(Ticks(n) * e.net.cost.Compare) }
+
+// ChargeKeyMove charges the cost of moving n keys in local memory.
+func (e *Endpoint) ChargeKeyMove(n int) { e.Compute(Ticks(n) * e.net.cost.KeyMove) }
+
+// Send transmits a message to the partner across the given dimension
+// bit. The sender's clock advances by the send cost; the message is
+// stamped to arrive Latency ticks after departure. Installed link
+// faults may drop, corrupt, or duplicate the message.
+func (e *Endpoint) Send(bit int, m wire.Message) error {
+	partner, err := e.net.topo.Partner(e.id, bit)
+	if err != nil {
+		return fmt.Errorf("simnet: send: %w", err)
+	}
+	m.From = int32(e.id)
+	m.To = int32(partner)
+	raw, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("simnet: send: %w", err)
+	}
+	cost := e.net.cost.SendFixed + Ticks(len(raw))*e.net.cost.SendPerByte
+	e.clock += cost
+	e.commTicks += cost
+	e.net.metrics.record(m.Kind, len(raw))
+
+	deliveries := [][]byte{raw}
+	for _, f := range e.net.linkFaults(e.id, partner) {
+		var next [][]byte
+		for _, d := range deliveries {
+			next = append(next, f.Apply(d)...)
+		}
+		deliveries = next
+	}
+	arrival := e.clock + e.net.cost.Latency
+	for _, d := range deliveries {
+		select {
+		case e.net.links[partner][bit] <- packet{raw: d, arrival: arrival}:
+		default:
+			return fmt.Errorf("simnet: %d -> %d: %w", e.id, partner, ErrLinkBackpressure)
+		}
+	}
+	return nil
+}
+
+// Recv blocks for the next message from the partner across the given
+// dimension bit. The receiver's clock advances to at least the
+// message's arrival time plus the receive cost. It returns ErrAbsent
+// if nothing arrives within the network's wall-clock timeout, and a
+// decode error if the (possibly fault-corrupted) bytes do not parse —
+// both are detectable faults under the paper's model.
+func (e *Endpoint) Recv(bit int) (wire.Message, error) {
+	if bit < 0 || bit >= e.net.topo.Dim() {
+		return wire.Message{}, fmt.Errorf("simnet: recv: bit %d outside dimension %d", bit, e.net.topo.Dim())
+	}
+	timer := time.NewTimer(e.net.recvTimeout)
+	defer timer.Stop()
+	select {
+	case pkt := <-e.net.links[e.id][bit]:
+		return e.acceptPacket(pkt)
+	case <-timer.C:
+		partner, _ := e.net.topo.Partner(e.id, bit)
+		return wire.Message{}, fmt.Errorf("simnet: node %d waiting on link from %d: %w", e.id, partner, ErrAbsent)
+	}
+}
+
+func (e *Endpoint) acceptPacket(pkt packet) (wire.Message, error) {
+	if pkt.arrival > e.clock {
+		// Waiting time is idle, charged to neither comm nor comp.
+		e.clock = pkt.arrival
+	}
+	cost := e.net.cost.RecvFixed + Ticks(len(pkt.raw))*e.net.cost.RecvPerByte
+	e.clock += cost
+	e.commTicks += cost
+	m, err := wire.Decode(pkt.raw)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("simnet: node %d: garbled message: %w", e.id, err)
+	}
+	return m, nil
+}
+
+// SendHost transmits a message to the host over the reliable host
+// link. Host links bypass fault interceptors.
+func (e *Endpoint) SendHost(m wire.Message) error {
+	m.From = int32(e.id)
+	m.To = wire.HostID
+	raw, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("simnet: send host: %w", err)
+	}
+	cost := e.net.cost.SendFixed + Ticks(len(raw))*e.net.cost.SendPerByte
+	e.clock += cost
+	e.commTicks += cost
+	e.net.metrics.record(m.Kind, len(raw))
+	select {
+	case e.net.hostIn <- packet{raw: raw, arrival: e.clock + e.net.cost.Latency}:
+		return nil
+	default:
+		return fmt.Errorf("simnet: node %d -> host: %w", e.id, ErrLinkBackpressure)
+	}
+}
+
+// RecvHost blocks for the next message from the host.
+func (e *Endpoint) RecvHost() (wire.Message, error) {
+	timer := time.NewTimer(e.net.recvTimeout)
+	defer timer.Stop()
+	select {
+	case pkt := <-e.net.hostOut[e.id]:
+		return e.acceptPacket(pkt)
+	case <-timer.C:
+		return wire.Message{}, fmt.Errorf("simnet: node %d waiting on host: %w", e.id, ErrAbsent)
+	}
+}
+
+// Host is the reliable host processor's handle on the network. Like
+// Endpoint it owns a virtual clock and is goroutine-confined.
+type Host struct {
+	net *Network
+
+	clock     Ticks
+	commTicks Ticks
+	compTicks Ticks
+}
+
+// Host returns the host endpoint. Call at most once per network.
+func (nw *Network) Host() transport.Host { return &Host{net: nw} }
+
+// Clock returns the host's current virtual time.
+func (h *Host) Clock() Ticks { return h.clock }
+
+// CommTicks returns the virtual time the host spent on communication.
+func (h *Host) CommTicks() Ticks { return h.commTicks }
+
+// CompTicks returns the virtual time the host spent computing.
+func (h *Host) CompTicks() Ticks { return h.compTicks }
+
+// Compute advances the host clock by a computation cost.
+func (h *Host) Compute(t Ticks) {
+	if t < 0 {
+		t = 0
+	}
+	h.clock += t
+	h.compTicks += t
+}
+
+// ChargeCompare charges the host for n key comparisons.
+func (h *Host) ChargeCompare(n int) { h.Compute(Ticks(n) * h.net.cost.Compare) }
+
+// ChargeKeyMove charges the host for moving n keys.
+func (h *Host) ChargeKeyMove(n int) { h.Compute(Ticks(n) * h.net.cost.KeyMove) }
+
+// Send transmits a message from the host to a node over the host
+// interface (HostFixed/HostPerByte costs).
+func (h *Host) Send(node int, m wire.Message) error {
+	if !h.net.topo.Contains(node) {
+		return fmt.Errorf("simnet: host send: node %d outside cube of %d nodes", node, h.net.topo.Nodes())
+	}
+	m.From = wire.HostID
+	m.To = int32(node)
+	raw, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("simnet: host send: %w", err)
+	}
+	cost := h.net.cost.HostFixed + Ticks(len(raw))*h.net.cost.HostPerByte
+	h.clock += cost
+	h.commTicks += cost
+	h.net.metrics.record(m.Kind, len(raw))
+	select {
+	case h.net.hostOut[node] <- packet{raw: raw, arrival: h.clock + h.net.cost.Latency}:
+		return nil
+	default:
+		return fmt.Errorf("simnet: host -> %d: %w", node, ErrLinkBackpressure)
+	}
+}
+
+// Recv blocks for the next message from any node.
+func (h *Host) Recv() (wire.Message, error) {
+	timer := time.NewTimer(h.net.recvTimeout)
+	defer timer.Stop()
+	select {
+	case pkt := <-h.net.hostIn:
+		if pkt.arrival > h.clock {
+			h.clock = pkt.arrival
+		}
+		cost := h.net.cost.HostFixed + Ticks(len(pkt.raw))*h.net.cost.HostPerByte
+		h.clock += cost
+		h.commTicks += cost
+		m, err := wire.Decode(pkt.raw)
+		if err != nil {
+			return wire.Message{}, fmt.Errorf("simnet: host: garbled message: %w", err)
+		}
+		return m, nil
+	case <-timer.C:
+		return wire.Message{}, fmt.Errorf("simnet: host: %w", ErrAbsent)
+	}
+}
+
+// TryRecv returns the next pending host message without waiting for
+// the full absence timeout; ok is false when the mailbox is empty.
+// The host uses this to poll for ERROR signals between phases.
+func (h *Host) TryRecv() (m wire.Message, ok bool, err error) {
+	select {
+	case pkt := <-h.net.hostIn:
+		if pkt.arrival > h.clock {
+			h.clock = pkt.arrival
+		}
+		cost := h.net.cost.HostFixed + Ticks(len(pkt.raw))*h.net.cost.HostPerByte
+		h.clock += cost
+		h.commTicks += cost
+		msg, derr := wire.Decode(pkt.raw)
+		if derr != nil {
+			return wire.Message{}, false, fmt.Errorf("simnet: host: garbled message: %w", derr)
+		}
+		return msg, true, nil
+	default:
+		return wire.Message{}, false, nil
+	}
+}

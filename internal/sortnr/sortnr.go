@@ -1,0 +1,156 @@
+// Package sortnr implements S_NR, the paper's non-redundant (and
+// non-fault-tolerant) distributed bitonic sort of Figure 2: one key
+// per node on an n-dimensional hypercube, sorted ascending by node
+// label in n(n+1)/2 compare-exchange steps.
+//
+// S_NR is the performance baseline for S_FT and, under fault
+// injection, the cautionary tale: a single Byzantine node corrupts the
+// output silently.
+package sortnr
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Options tunes a node program. The zero value is the honest protocol.
+type Options struct {
+	// Tamper, when non-nil, intercepts every outgoing message just
+	// before transmission, modelling a Byzantine processor: it may
+	// mutate the message (value lies, wrong compare-exchange results),
+	// return a replacement, or return nil to stay silent. It is called
+	// with From/To already stamped so strategies can vary by receiver.
+	Tamper func(m *wire.Message) *wire.Message
+}
+
+// NodeProgram returns the S_NR program for one node. The node's
+// initial key is key; its final key is written to *out on completion
+// (each node writes only its own slot, so a shared slice needs no
+// locking).
+func NodeProgram(key int64, out *int64, opts Options) node.Program {
+	return func(ep transport.Endpoint) error {
+		a, err := runNode(ep, key, opts)
+		if err != nil {
+			return err
+		}
+		*out = a
+		return nil
+	}
+}
+
+// Run executes S_NR over the network with keys[id] as node id's input
+// and returns the gathered output (out[id] = node id's final key)
+// along with the harness result.
+func Run(nw transport.Network, keys []int64) ([]int64, *node.Result, error) {
+	n := nw.Topology().Nodes()
+	if len(keys) != n {
+		return nil, nil, fmt.Errorf("sortnr: %d keys for %d nodes", len(keys), n)
+	}
+	out := make([]int64, n)
+	progs := make([]node.Program, n)
+	for id := 0; id < n; id++ {
+		progs[id] = NodeProgram(keys[id], &out[id], Options{})
+	}
+	res, err := node.RunPer(nw, progs, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sortnr: %w", err)
+	}
+	return out, res, nil
+}
+
+func runNode(ep transport.Endpoint, key int64, opts Options) (int64, error) {
+	id := ep.ID()
+	n := ep.Topology().Dim()
+	a := key
+	for i := 0; i < n; i++ {
+		for j := i; j >= 0; j-- {
+			var err error
+			a, err = exchangeStep(ep, a, i, j, opts)
+			if err != nil {
+				return 0, fmt.Errorf("sortnr: node %d stage %d iter %d: %w", id, i, j, err)
+			}
+		}
+	}
+	return a, nil
+}
+
+// exchangeStep performs the (i, j) compare-exchange of Figure 2 and
+// returns the node's new key. The node with a zero in bit j is active:
+// it receives the partner's key, compares, keeps one value, and sends
+// the other back. The partner is passive: it sends its key and adopts
+// whatever comes back.
+func exchangeStep(ep transport.Endpoint, a int64, i, j int, opts Options) (int64, error) {
+	id := ep.ID()
+	ascending := ep.Topology().Ascending(i, id)
+
+	if id&(1<<uint(j)) == 0 { // active: node mod 2d < d
+		data, err := recvOneKey(ep, j)
+		if err != nil {
+			return 0, err
+		}
+		ep.ChargeCompare(1)
+		lo, hi := minmax(data, a)
+		keep, send := lo, hi
+		if !ascending {
+			keep, send = hi, lo
+		}
+		if err := sendKeys(ep, j, i, j, []int64{send}, opts); err != nil {
+			return 0, err
+		}
+		return keep, nil
+	}
+
+	// Passive node: send our key, adopt the returned key.
+	if err := sendKeys(ep, j, i, j, []int64{a}, opts); err != nil {
+		return 0, err
+	}
+	return recvOneKey(ep, j)
+}
+
+func recvOneKey(ep transport.Endpoint, bit int) (int64, error) {
+	got, err := ep.Recv(bit)
+	if err != nil {
+		return 0, err
+	}
+	p, err := wire.DecodeExchange(got.Payload)
+	if err != nil {
+		return 0, err
+	}
+	if len(p.Keys) != 1 {
+		return 0, fmt.Errorf("expected 1 key, got %d", len(p.Keys))
+	}
+	return p.Keys[0], nil
+}
+
+func sendKeys(ep transport.Endpoint, bit, stage, iter int, keys []int64, opts Options) error {
+	m := wire.Message{
+		Kind:    wire.KindExchange,
+		Stage:   int32(stage),
+		Iter:    int32(iter),
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: keys}),
+	}
+	if opts.Tamper != nil {
+		partner, err := ep.Topology().Partner(ep.ID(), bit)
+		if err != nil {
+			return err
+		}
+		m.From = int32(ep.ID())
+		m.To = int32(partner)
+		out := opts.Tamper(&m)
+		if out == nil {
+			return nil // Byzantine silence
+		}
+		m = *out
+	}
+	return ep.Send(bit, m)
+}
+
+func minmax(x, y int64) (lo, hi int64) {
+	if x <= y {
+		return x, y
+	}
+	return y, x
+}

@@ -1,0 +1,148 @@
+// Package stats provides the small numerical toolkit the experiment
+// harness needs: summary statistics and multi-basis linear least
+// squares, used to fit measured virtual-time curves to the two-term
+// cost formulas of the paper's Section 5 table.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are singular
+// (collinear bases or too few points).
+var ErrSingular = errors.New("stats: singular system")
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 when fewer
+// than two points).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// LeastSquares fits y ≈ Σ coef[k]·X[i][k] by ordinary least squares
+// and returns the coefficients. X is row-major: one row per
+// observation, one column per basis. It requires at least as many
+// observations as bases.
+func LeastSquares(X [][]float64, y []float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: %d rows vs %d targets", n, len(y))
+	}
+	k := len(X[0])
+	if k == 0 {
+		return nil, errors.New("stats: zero bases")
+	}
+	for i, row := range X {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), k)
+		}
+	}
+	if n < k {
+		return nil, fmt.Errorf("stats: %d observations for %d bases: %w", n, k, ErrSingular)
+	}
+	// Normal equations: (XᵀX) c = Xᵀy.
+	ata := make([][]float64, k)
+	aty := make([]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < k; i++ {
+			aty[i] += X[r][i] * y[r]
+			for j := 0; j < k; j++ {
+				ata[i][j] += X[r][i] * X[r][j]
+			}
+		}
+	}
+	coef, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return coef, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy
+// of the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	k := len(a)
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < k; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := col + 1; r < k; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= k; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := m[i][k]
+		for j := i + 1; j < k; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// RSquared returns the coefficient of determination of predictions
+// pred against observations y: 1 is a perfect fit. It returns 1 when
+// the observations are constant and perfectly predicted, 0 when
+// constant but mispredicted.
+func RSquared(y, pred []float64) (float64, error) {
+	if len(y) != len(pred) || len(y) == 0 {
+		return 0, fmt.Errorf("stats: %d observations vs %d predictions", len(y), len(pred))
+	}
+	m := Mean(y)
+	var ssTot, ssRes float64
+	for i := range y {
+		ssTot += (y[i] - m) * (y[i] - m)
+		ssRes += (y[i] - pred[i]) * (y[i] - pred[i])
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// Lg returns log2(x).
+func Lg(x float64) float64 { return math.Log2(x) }

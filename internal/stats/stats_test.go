@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev singleton != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 3a + 2b, noiseless.
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}}
+	y := []float64{3, 2, 5, 12}
+	coef, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-3) > 1e-9 || math.Abs(coef[1]-2) > 1e-9 {
+		t.Fatalf("coef = %v", coef)
+	}
+}
+
+func TestLeastSquaresRecoversPaperShape(t *testing.T) {
+	// Generate comm(N) = 8·lg²N + 0.05·N·lgN with mild noise and
+	// recover the constants — exactly what the harness does.
+	rng := rand.New(rand.NewSource(12))
+	var X [][]float64
+	var y []float64
+	for _, n := range []float64{4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		lg := Lg(n)
+		truth := 8*lg*lg + 0.05*n*lg
+		noisy := truth * (1 + 0.01*(rng.Float64()-0.5))
+		X = append(X, []float64{lg * lg, n * lg})
+		y = append(y, noisy)
+	}
+	coef, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-8) > 0.5 || math.Abs(coef[1]-0.05) > 0.005 {
+		t.Fatalf("recovered coef = %v, want ~[8, 0.05]", coef)
+	}
+	pred := make([]float64, len(y))
+	for i := range X {
+		pred[i] = coef[0]*X[i][0] + coef[1]*X[i][1]
+	}
+	r2, err := RSquared(y, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.999 {
+		t.Errorf("R² = %v", r2)
+	}
+}
+
+func TestLeastSquaresValidation(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch: want error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows: want error")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero bases: want error")
+	}
+	// Underdetermined.
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); !errors.Is(err, ErrSingular) {
+		t.Error("underdetermined: want ErrSingular")
+	}
+	// Collinear columns.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := LeastSquares(X, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Error("collinear: want ErrSingular")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	if _, err := RSquared([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	r2, err := RSquared([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || r2 != 1 {
+		t.Errorf("perfect fit R² = %v err=%v", r2, err)
+	}
+	r2, err = RSquared([]float64{2, 2}, []float64{2, 2})
+	if err != nil || r2 != 1 {
+		t.Errorf("constant perfect R² = %v", r2)
+	}
+	r2, err = RSquared([]float64{2, 2}, []float64{3, 3})
+	if err != nil || r2 != 0 {
+		t.Errorf("constant mispredicted R² = %v", r2)
+	}
+}
+
+// Least squares must reproduce exact coefficients for any
+// well-conditioned random system.
+func TestLeastSquaresRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		var X [][]float64
+		var y []float64
+		for i := 0; i < 8; i++ {
+			x1 := rng.Float64()*10 + 1
+			x2 := rng.Float64()*10 + 1
+			X = append(X, []float64{x1, x2 * x2})
+			y = append(y, a*x1+b*x2*x2)
+		}
+		coef, err := LeastSquares(X, y)
+		if err != nil {
+			return true // occasional ill-conditioning is acceptable
+		}
+		return math.Abs(coef[0]-a) < 1e-4*(1+math.Abs(a)) &&
+			math.Abs(coef[1]-b) < 1e-4*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLg(t *testing.T) {
+	if Lg(8) != 3 {
+		t.Errorf("Lg(8) = %v", Lg(8))
+	}
+}

@@ -1,0 +1,245 @@
+package tcpnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hypercube"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Endpoint is a node's handle on the TCP mesh. Goroutine-confined,
+// like its simnet counterpart; the virtual-clock arithmetic is
+// line-for-line the same so the two transports agree on every tick.
+type Endpoint struct {
+	net *Network
+	id  int
+
+	clock     transport.Ticks
+	commTicks transport.Ticks
+	compTicks transport.Ticks
+}
+
+// ID returns the node label.
+func (e *Endpoint) ID() int { return e.id }
+
+// Topology returns the hypercube the endpoint belongs to.
+func (e *Endpoint) Topology() hypercube.Topology { return e.net.topo }
+
+// Clock returns the node's current virtual time.
+func (e *Endpoint) Clock() transport.Ticks { return e.clock }
+
+// CommTicks returns virtual time spent on communication.
+func (e *Endpoint) CommTicks() transport.Ticks { return e.commTicks }
+
+// CompTicks returns virtual time spent computing.
+func (e *Endpoint) CompTicks() transport.Ticks { return e.compTicks }
+
+// Compute advances the node clock by a computation cost.
+func (e *Endpoint) Compute(t transport.Ticks) {
+	if t < 0 {
+		t = 0
+	}
+	e.clock += t
+	e.compTicks += t
+}
+
+// ChargeCompare charges the cost of n key comparisons.
+func (e *Endpoint) ChargeCompare(n int) {
+	e.Compute(transport.Ticks(n) * e.net.cost.Compare)
+}
+
+// ChargeKeyMove charges the cost of moving n keys in memory.
+func (e *Endpoint) ChargeKeyMove(n int) {
+	e.Compute(transport.Ticks(n) * e.net.cost.KeyMove)
+}
+
+// Send transmits to the partner across the given dimension bit over
+// the link's TCP connection.
+func (e *Endpoint) Send(bit int, m wire.Message) error {
+	partner, err := e.net.topo.Partner(e.id, bit)
+	if err != nil {
+		return fmt.Errorf("tcpnet: send: %w", err)
+	}
+	m.From = int32(e.id)
+	m.To = int32(partner)
+	raw, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("tcpnet: send: %w", err)
+	}
+	cost := e.net.cost.SendFixed + transport.Ticks(len(raw))*e.net.cost.SendPerByte
+	e.clock += cost
+	e.commTicks += cost
+	e.net.record(m.Kind, len(raw))
+	if err := writeFrame(e.net.nodeConns[e.id][bit], raw, e.clock); err != nil {
+		return fmt.Errorf("tcpnet: %d -> %d: %w", e.id, partner, err)
+	}
+	return nil
+}
+
+// Recv blocks for the next message from the partner across the given
+// dimension bit, advancing the virtual clock to its arrival.
+func (e *Endpoint) Recv(bit int) (wire.Message, error) {
+	if bit < 0 || bit >= e.net.topo.Dim() {
+		return wire.Message{}, fmt.Errorf("tcpnet: recv: bit %d outside dimension %d", bit, e.net.topo.Dim())
+	}
+	pkt, err := e.net.await(e.net.inboxes[e.id][bit])
+	if err != nil {
+		partner, _ := e.net.topo.Partner(e.id, bit)
+		return wire.Message{}, fmt.Errorf("tcpnet: node %d waiting on link from %d: %w", e.id, partner, err)
+	}
+	return e.accept(pkt)
+}
+
+func (e *Endpoint) accept(pkt packet) (wire.Message, error) {
+	if pkt.arrival > e.clock {
+		e.clock = pkt.arrival // idle wait, unbilled
+	}
+	cost := e.net.cost.RecvFixed + transport.Ticks(len(pkt.raw))*e.net.cost.RecvPerByte
+	e.clock += cost
+	e.commTicks += cost
+	m, err := wire.Decode(pkt.raw)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("tcpnet: node %d: garbled message: %w", e.id, err)
+	}
+	return m, nil
+}
+
+// SendHost transmits to the host over the node's host connection.
+func (e *Endpoint) SendHost(m wire.Message) error {
+	m.From = int32(e.id)
+	m.To = wire.HostID
+	raw, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("tcpnet: send host: %w", err)
+	}
+	cost := e.net.cost.SendFixed + transport.Ticks(len(raw))*e.net.cost.SendPerByte
+	e.clock += cost
+	e.commTicks += cost
+	e.net.record(m.Kind, len(raw))
+	if err := writeFrame(e.net.nodeHostWrite[e.id], raw, e.clock); err != nil {
+		return fmt.Errorf("tcpnet: node %d -> host: %w", e.id, err)
+	}
+	return nil
+}
+
+// RecvHost blocks for the next message from the host.
+func (e *Endpoint) RecvHost() (wire.Message, error) {
+	pkt, err := e.net.await(e.net.nodeHostInbox[e.id])
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("tcpnet: node %d waiting on host: %w", e.id, err)
+	}
+	return e.accept(pkt)
+}
+
+// await pops the next packet from an inbox, bounded by the configured
+// wall-clock timeout and the network lifetime.
+func (nw *Network) await(inbox chan packet) (packet, error) {
+	timer := time.NewTimer(nw.recvTimeout)
+	defer timer.Stop()
+	select {
+	case pkt := <-inbox:
+		return pkt, nil
+	case <-nw.closed:
+		return packet{}, ErrClosed
+	case <-timer.C:
+		return packet{}, ErrAbsent
+	}
+}
+
+// Host is the reliable host processor's handle on the TCP mesh.
+type Host struct {
+	net *Network
+
+	clock     transport.Ticks
+	commTicks transport.Ticks
+	compTicks transport.Ticks
+}
+
+// Clock returns the host's current virtual time.
+func (h *Host) Clock() transport.Ticks { return h.clock }
+
+// CommTicks returns virtual time the host spent on communication.
+func (h *Host) CommTicks() transport.Ticks { return h.commTicks }
+
+// CompTicks returns virtual time the host spent computing.
+func (h *Host) CompTicks() transport.Ticks { return h.compTicks }
+
+// Compute advances the host clock by a computation cost.
+func (h *Host) Compute(t transport.Ticks) {
+	if t < 0 {
+		t = 0
+	}
+	h.clock += t
+	h.compTicks += t
+}
+
+// ChargeCompare charges the host for n key comparisons.
+func (h *Host) ChargeCompare(n int) {
+	h.Compute(transport.Ticks(n) * h.net.cost.Compare)
+}
+
+// ChargeKeyMove charges the host for moving n keys.
+func (h *Host) ChargeKeyMove(n int) {
+	h.Compute(transport.Ticks(n) * h.net.cost.KeyMove)
+}
+
+// Send transmits from the host to a node over the host interface.
+func (h *Host) Send(node int, m wire.Message) error {
+	if !h.net.topo.Contains(node) {
+		return fmt.Errorf("tcpnet: host send: node %d outside cube of %d nodes", node, h.net.topo.Nodes())
+	}
+	m.From = wire.HostID
+	m.To = int32(node)
+	raw, err := wire.Encode(m)
+	if err != nil {
+		return fmt.Errorf("tcpnet: host send: %w", err)
+	}
+	cost := h.net.cost.HostFixed + transport.Ticks(len(raw))*h.net.cost.HostPerByte
+	h.clock += cost
+	h.commTicks += cost
+	h.net.record(m.Kind, len(raw))
+	if err := writeFrame(h.net.hostConns[node], raw, h.clock); err != nil {
+		return fmt.Errorf("tcpnet: host -> %d: %w", node, err)
+	}
+	return nil
+}
+
+// Recv blocks for the next message from any node.
+func (h *Host) Recv() (wire.Message, error) {
+	pkt, err := h.net.await(h.net.hostInbox)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("tcpnet: host: %w", err)
+	}
+	return h.accept(pkt)
+}
+
+func (h *Host) accept(pkt packet) (wire.Message, error) {
+	if pkt.arrival > h.clock {
+		h.clock = pkt.arrival
+	}
+	cost := h.net.cost.HostFixed + transport.Ticks(len(pkt.raw))*h.net.cost.HostPerByte
+	h.clock += cost
+	h.commTicks += cost
+	m, err := wire.Decode(pkt.raw)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("tcpnet: host: garbled message: %w", err)
+	}
+	return m, nil
+}
+
+// TryRecv returns a pending host message without waiting for the full
+// absence timeout.
+func (h *Host) TryRecv() (wire.Message, bool, error) {
+	select {
+	case pkt := <-h.net.hostInbox:
+		m, err := h.accept(pkt)
+		if err != nil {
+			return wire.Message{}, false, err
+		}
+		return m, true, nil
+	default:
+		return wire.Message{}, false, nil
+	}
+}

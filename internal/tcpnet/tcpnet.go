@@ -1,0 +1,313 @@
+// Package tcpnet implements the transport abstraction over real TCP
+// connections (stdlib net): every hypercube link is a loopback TCP
+// connection, every message crosses a genuine socket, and a reader
+// goroutine per connection feeds per-dimension inboxes.
+//
+// The virtual-time accounting is identical to internal/simnet's — the
+// sender stamps each frame with its departure tick and the receiver
+// advances to departure + Latency — so for the same protocol and
+// inputs, a tcpnet run produces the *same* virtual clocks, makespans,
+// and traffic counters as a simnet run (asserted by the equivalence
+// tests). This demonstrates that the algorithms and the paper's
+// measured quantities are independent of the in-process simulation.
+//
+// tcpnet trades simnet's fault-injection hooks for transport realism;
+// fault experiments stay on simnet.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hypercube"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Compile-time checks: tcpnet implements the transport abstraction.
+var (
+	_ transport.Network  = (*Network)(nil)
+	_ transport.Endpoint = (*Endpoint)(nil)
+	_ transport.Host     = (*Host)(nil)
+)
+
+// ErrAbsent mirrors simnet.ErrAbsent: an expected message did not
+// arrive within the timeout.
+var ErrAbsent = errors.New("tcpnet: expected message absent (timeout)")
+
+// ErrClosed is returned when the network has been shut down.
+var ErrClosed = errors.New("tcpnet: network closed")
+
+// inboxDepth bounds each per-dimension inbox; the TCP connection
+// itself provides backpressure once an inbox fills.
+const inboxDepth = 32
+
+// Config parameterizes a Network.
+type Config struct {
+	// Dim is the hypercube dimension n; the network has 2^n nodes.
+	Dim int
+	// Cost is the virtual-time cost model; zero value means
+	// transport.DefaultCostModel.
+	Cost transport.CostModel
+	// RecvTimeout bounds how long a Recv waits in wall-clock time.
+	// Zero means 2 seconds.
+	RecvTimeout time.Duration
+}
+
+// packet is a received frame with its virtual arrival time.
+type packet struct {
+	raw     []byte
+	arrival transport.Ticks
+}
+
+// Network is one TCP-backed multicomputer instance. Create with New,
+// release with Close. Not reusable across runs.
+type Network struct {
+	topo        hypercube.Topology
+	cost        transport.CostModel
+	recvTimeout time.Duration
+
+	// nodeConns[id][bit] is node id's connection to its partner across
+	// dimension bit. nodeHostWrite[id] is node id's side of its host
+	// link; hostConns[id] is the host's side.
+	nodeConns     [][]net.Conn
+	nodeHostWrite []net.Conn
+	hostConns     []net.Conn
+
+	// inboxes[id][bit] receives frames from the partner across bit;
+	// hostInbox receives node->host frames; nodeHostInbox[id] receives
+	// host->node frames.
+	inboxes       [][]chan packet
+	hostInbox     chan packet
+	nodeHostInbox []chan packet
+
+	msgs  [8]atomic.Int64
+	bytes [8]atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	readers   sync.WaitGroup
+}
+
+// New constructs the mesh: one loopback TCP connection per hypercube
+// edge plus one per node-host pair, with reader goroutines feeding the
+// inboxes. It cleans up after itself on any setup error.
+func New(cfg Config) (nw *Network, err error) {
+	topo, terr := hypercube.New(cfg.Dim)
+	if terr != nil {
+		return nil, fmt.Errorf("tcpnet: %w", terr)
+	}
+	cost := cfg.Cost
+	if cost == (transport.CostModel{}) {
+		cost = transport.DefaultCostModel()
+	}
+	timeout := cfg.RecvTimeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	n := topo.Nodes()
+	nw = &Network{
+		topo:          topo,
+		cost:          cost,
+		recvTimeout:   timeout,
+		nodeConns:     make([][]net.Conn, n),
+		nodeHostWrite: make([]net.Conn, n),
+		hostConns:     make([]net.Conn, n),
+		inboxes:       make([][]chan packet, n),
+		hostInbox:     make(chan packet, 4*n+16),
+		nodeHostInbox: make([]chan packet, n),
+		closed:        make(chan struct{}),
+	}
+	defer func() {
+		if err != nil {
+			nw.Close()
+		}
+	}()
+	for id := 0; id < n; id++ {
+		nw.nodeConns[id] = make([]net.Conn, topo.Dim())
+		nw.inboxes[id] = make([]chan packet, topo.Dim())
+		for b := 0; b < topo.Dim(); b++ {
+			nw.inboxes[id][b] = make(chan packet, inboxDepth)
+		}
+		nw.nodeHostInbox[id] = make(chan packet, inboxDepth)
+	}
+
+	// Node-to-node links: one TCP connection per undirected edge.
+	for id := 0; id < n; id++ {
+		for b := 0; b < topo.Dim(); b++ {
+			partner, perr := topo.Partner(id, b)
+			if perr != nil {
+				return nil, fmt.Errorf("tcpnet: %w", perr)
+			}
+			if partner < id {
+				continue // edge created from the lower endpoint
+			}
+			c1, c2, cerr := loopbackPair()
+			if cerr != nil {
+				return nil, fmt.Errorf("tcpnet: edge %d-%d: %w", id, partner, cerr)
+			}
+			nw.nodeConns[id][b] = c1
+			nw.nodeConns[partner][b] = c2
+			nw.startReader(c1, nw.inboxes[id][b])
+			nw.startReader(c2, nw.inboxes[partner][b])
+		}
+	}
+	// Host links.
+	for id := 0; id < n; id++ {
+		c1, c2, cerr := loopbackPair()
+		if cerr != nil {
+			return nil, fmt.Errorf("tcpnet: host link %d: %w", id, cerr)
+		}
+		// c1 is the node side, c2 the host side.
+		nw.nodeHostWrite[id] = c1
+		nw.hostConns[id] = c2
+		nw.startReader(c1, nw.nodeHostInbox[id])
+		nw.startReader(c2, nw.hostInbox)
+	}
+	return nw, nil
+}
+
+// loopbackPair returns two ends of a real TCP connection over the
+// loopback interface.
+func loopbackPair() (client, server net.Conn, err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer l.Close()
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		c, aerr := l.Accept()
+		ch <- acceptResult{conn: c, err: aerr}
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	res := <-ch
+	if res.err != nil {
+		client.Close()
+		return nil, nil, res.err
+	}
+	return client, res.conn, nil
+}
+
+// frame layout: u32 payload length | u64 departure tick | payload.
+const frameHeader = 4 + 8
+
+// maxFrame bounds a frame so a corrupted length cannot trigger a huge
+// allocation.
+const maxFrame = wire.MaxPayload + 64
+
+func writeFrame(c net.Conn, raw []byte, departure transport.Ticks) error {
+	hdr := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(raw)))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(departure))
+	if _, err := c.Write(hdr); err != nil {
+		return err
+	}
+	_, err := c.Write(raw)
+	return err
+}
+
+// startReader pumps frames from the connection into the inbox until
+// the connection or network closes.
+func (nw *Network) startReader(c net.Conn, inbox chan packet) {
+	nw.readers.Add(1)
+	go func() {
+		defer nw.readers.Done()
+		hdr := make([]byte, frameHeader)
+		for {
+			if _, err := io.ReadFull(c, hdr); err != nil {
+				return
+			}
+			n := binary.LittleEndian.Uint32(hdr)
+			if n > maxFrame {
+				return
+			}
+			departure := transport.Ticks(binary.LittleEndian.Uint64(hdr[4:]))
+			raw := make([]byte, n)
+			if _, err := io.ReadFull(c, raw); err != nil {
+				return
+			}
+			select {
+			case inbox <- packet{raw: raw, arrival: departure + nw.cost.Latency}:
+			case <-nw.closed:
+				return
+			}
+		}
+	}()
+}
+
+// Close shuts the network down: all connections are closed and reader
+// goroutines drained. Safe to call multiple times.
+func (nw *Network) Close() {
+	nw.closeOnce.Do(func() {
+		close(nw.closed)
+		for _, conns := range nw.nodeConns {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+		for _, c := range nw.hostConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, c := range nw.nodeHostWrite {
+			if c != nil {
+				c.Close()
+			}
+		}
+		nw.readers.Wait()
+	})
+}
+
+// Topology returns the underlying hypercube.
+func (nw *Network) Topology() hypercube.Topology { return nw.topo }
+
+// Metrics returns a snapshot of the traffic counters.
+func (nw *Network) Metrics() transport.MetricsSnapshot {
+	s := transport.MetricsSnapshot{
+		MsgsByKind:  make(map[wire.Kind]int64),
+		BytesByKind: make(map[wire.Kind]int64),
+	}
+	for k := wire.Kind(1); int(k) < len(nw.msgs); k++ {
+		if n := nw.msgs[k].Load(); n != 0 {
+			s.MsgsByKind[k] = n
+			s.BytesByKind[k] = nw.bytes[k].Load()
+		}
+	}
+	return s
+}
+
+func (nw *Network) record(kind wire.Kind, n int) {
+	if int(kind) < len(nw.msgs) {
+		nw.msgs[kind].Add(1)
+		nw.bytes[kind].Add(int64(n))
+	}
+}
+
+// Endpoint returns node id's endpoint. Call once per node before
+// starting its goroutine.
+func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
+	if !nw.topo.Contains(id) {
+		return nil, fmt.Errorf("tcpnet: node %d outside cube of %d nodes", id, nw.topo.Nodes())
+	}
+	return &Endpoint{net: nw, id: id}, nil
+}
+
+// Host returns the host endpoint. Call at most once per network.
+func (nw *Network) Host() transport.Host { return &Host{net: nw} }

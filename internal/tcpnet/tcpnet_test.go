@@ -1,0 +1,234 @@
+package tcpnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/hostsort"
+	"repro/internal/simnet"
+	"repro/internal/sortnr"
+	"repro/internal/wire"
+)
+
+func newNet(t testing.TB, dim int) *Network {
+	t.Helper()
+	nw, err := New(Config{Dim: dim, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: -1}); err == nil {
+		t.Error("negative dim: want error")
+	}
+}
+
+func TestSendRecvOverTCP(t *testing.T) {
+	nw := newNet(t, 2)
+	a, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := wire.Message{Kind: wire.KindExchange, Stage: 1,
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{7}})}
+	if err := a.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 0 || got.To != 1 || got.Stage != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	p, err := wire.DecodeExchange(got.Payload)
+	if err != nil || p.Keys[0] != 7 {
+		t.Fatalf("payload %v err %v", p, err)
+	}
+	if b.Clock() <= a.Clock()-1000 { // receiver waited for arrival
+		t.Errorf("clocks: a=%d b=%d", a.Clock(), b.Clock())
+	}
+	if _, err := nw.Endpoint(99); err == nil {
+		t.Error("bad node id: want error")
+	}
+	if _, err := b.Recv(9); err == nil {
+		t.Error("bad bit: want error")
+	}
+}
+
+func TestHostRoundTripOverTCP(t *testing.T) {
+	nw := newNet(t, 1)
+	ep, err := nw.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := nw.Host()
+	if err := ep.SendHost(wire.Message{Kind: wire.KindHostUpload,
+		Payload: wire.EncodeHost(wire.HostPayload{Keys: []int64{9}})}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 1 {
+		t.Fatalf("from = %d", m.From)
+	}
+	if err := h.Send(1, wire.Message{Kind: wire.KindHostDownload,
+		Payload: wire.EncodeHost(wire.HostPayload{Keys: []int64{10}})}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ep.RecvHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != wire.KindHostDownload {
+		t.Fatalf("kind = %v", back.Kind)
+	}
+	if err := h.Send(99, wire.Message{Kind: wire.KindHostDownload}); err == nil {
+		t.Error("host send to bad node: want error")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	nw, err := New(Config{Dim: 1, RecvTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	ep, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := ep.Recv(0); !errors.Is(rerr, ErrAbsent) {
+		t.Fatalf("want ErrAbsent, got %v", rerr)
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	nw := newNet(t, 1)
+	ep, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := ep.Recv(0)
+		done <- rerr
+	}()
+	time.Sleep(20 * time.Millisecond)
+	nw.Close()
+	select {
+	case rerr := <-done:
+		if !errors.Is(rerr, ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", rerr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+// The flagship test: S_FT over real TCP sorts correctly and produces
+// the *identical* virtual-time results as the channel simulator —
+// makespan, per-kind message and byte counts.
+func TestSFTOverTCPMatchesSimnet(t *testing.T) {
+	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
+
+	tcp := newNet(t, 3)
+	ocTCP, err := core.Run(tcp, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ocTCP.Detected() {
+		t.Fatalf("spurious detection over TCP: %v %v", ocTCP.Result.FirstNodeErr(), ocTCP.HostErrors)
+	}
+	if err := checker.Verify(keys, ocTCP.Sorted, true); err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := simnet.New(simnet.Config{Dim: 3, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocSim, err := core.Run(sim, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := ocTCP.Result.Makespan(), ocSim.Result.Makespan(); got != want {
+		t.Errorf("makespan: tcp %d vs simnet %d", got, want)
+	}
+	for id := range ocTCP.Result.Nodes {
+		tn, sn := ocTCP.Result.Nodes[id], ocSim.Result.Nodes[id]
+		if tn.Clock != sn.Clock || tn.CommTicks != sn.CommTicks || tn.CompTicks != sn.CompTicks {
+			t.Errorf("node %d clocks: tcp %+v vs simnet %+v", id, tn, sn)
+		}
+	}
+	tm, sm := ocTCP.Result.Metrics, ocSim.Result.Metrics
+	if tm.TotalMsgs() != sm.TotalMsgs() || tm.TotalBytes() != sm.TotalBytes() {
+		t.Errorf("traffic: tcp %d/%d vs simnet %d/%d",
+			tm.TotalMsgs(), tm.TotalBytes(), sm.TotalMsgs(), sm.TotalBytes())
+	}
+}
+
+func TestSNROverTCP(t *testing.T) {
+	keys := []int64{4, 1, 3, 2}
+	nw := newNet(t, 2)
+	out, res, err := sortnr.Run(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.AnyErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker.Verify(keys, out, true); err != nil {
+		t.Fatalf("%v (out=%v)", err, out)
+	}
+}
+
+func TestHostSortOverTCP(t *testing.T) {
+	keys := []int64{9, -1, 5, 0, 2, 2, 8, 7}
+	nw := newNet(t, 3)
+	out, res, err := hostsort.RunHostSort(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.AnyErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := checker.Verify(keys, out, true); err != nil {
+		t.Fatal(err)
+	}
+	if res.HostComm == 0 {
+		t.Error("host comm not charged")
+	}
+}
+
+func TestMetricsOverTCP(t *testing.T) {
+	keys := []int64{4, 3, 2, 1}
+	nw := newNet(t, 2)
+	_, res, err := sortnr.Run(nw, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 2 * (2 + 1) / 2
+	if got := res.Metrics.MsgsByKind[wire.KindExchange]; got != int64(4*steps) {
+		t.Errorf("exchange msgs = %d, want %d", got, 4*steps)
+	}
+}
+
+func TestDoubleCloseIsSafe(t *testing.T) {
+	nw := newNet(t, 1)
+	nw.Close()
+	nw.Close()
+}

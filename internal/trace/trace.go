@@ -1,0 +1,144 @@
+// Package trace collects the per-node stage events S_FT emits through
+// its Trace hook into a thread-safe, queryable recording — the
+// machinery behind cmd/tracesort's reproduction of the paper's
+// Figure 5 worked example, and a debugging aid for protocol tests.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Recorder accumulates TraceEvents from concurrently running nodes.
+// The zero value is ready to use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []core.TraceEvent
+}
+
+// Hook returns the function to install as core.Options.Trace. The same
+// hook may be shared by every node.
+func (r *Recorder) Hook() func(core.TraceEvent) {
+	return func(ev core.TraceEvent) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		// Copy the assembled slice: the producer may reuse it.
+		cp := ev
+		cp.Assembled = append([]int64{}, ev.Assembled...)
+		r.events = append(r.events, cp)
+	}
+}
+
+// Events returns a copy of all recorded events in arrival order.
+func (r *Recorder) Events() []core.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]core.TraceEvent{}, r.events...)
+}
+
+// ByNode returns node id's events sorted by stage.
+func (r *Recorder) ByNode(id int) []core.TraceEvent {
+	var out []core.TraceEvent
+	for _, ev := range r.Events() {
+		if ev.Node == id {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// StageView is one distinct home subcube's assembled sequence at the
+// end of a stage, deduplicated across the (identical) copies every
+// member node holds.
+type StageView struct {
+	Stage     int
+	Final     bool
+	Start     int // subcube bounds
+	End       int
+	Assembled []int64
+	// Agreed is false when member nodes reported different sequences
+	// for the same subcube — impossible in a fault-free run.
+	Agreed bool
+}
+
+// Stage returns the deduplicated subcube views for one stage, ordered
+// by subcube start.
+func (r *Recorder) Stage(stage int) []StageView {
+	views := map[[2]int]*StageView{}
+	for _, ev := range r.Events() {
+		if ev.Stage != stage {
+			continue
+		}
+		key := [2]int{ev.Subcube.Start, ev.Subcube.End}
+		v, ok := views[key]
+		if !ok {
+			views[key] = &StageView{
+				Stage: ev.Stage, Final: ev.Final,
+				Start: ev.Subcube.Start, End: ev.Subcube.End,
+				Assembled: ev.Assembled, Agreed: true,
+			}
+			continue
+		}
+		if len(v.Assembled) != len(ev.Assembled) {
+			v.Agreed = false
+			continue
+		}
+		for i := range v.Assembled {
+			if v.Assembled[i] != ev.Assembled[i] {
+				v.Agreed = false
+				break
+			}
+		}
+	}
+	out := make([]StageView, 0, len(views))
+	for _, v := range views {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Stages returns the distinct stage indices recorded, ascending.
+func (r *Recorder) Stages() []int {
+	seen := map[int]bool{}
+	for _, ev := range r.Events() {
+		seen[ev.Stage] = true
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Render formats the whole recording in the style of the paper's
+// Figure 5: one line per distinct subcube per stage.
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	for _, s := range r.Stages() {
+		views := r.Stage(s)
+		if len(views) == 0 {
+			continue
+		}
+		if views[0].Final {
+			fmt.Fprintf(&b, "Final verification — every node holds the full verified result:\n")
+		} else {
+			fmt.Fprintf(&b, "End of stage %d — verified LBS per home subcube:\n", s)
+		}
+		for _, v := range views {
+			mark := ""
+			if !v.Agreed {
+				mark = "  (NODES DISAGREE)"
+			}
+			fmt.Fprintf(&b, "  SC[%d..%d]  LBS = %v%s\n", v.Start, v.End, v.Assembled, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

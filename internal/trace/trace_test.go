@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/simnet"
+)
+
+func TestRecorderCollectsAndDeduplicates(t *testing.T) {
+	var rec Recorder
+	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
+	opts := make([]core.Options, len(keys))
+	for id := range opts {
+		opts[id] = core.Options{Trace: rec.Hook()}
+	}
+	nw, err := simnet.New(simnet.Config{Dim: 3, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := core.RunWithOptions(nw, keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Detected() {
+		t.Fatal("spurious detection")
+	}
+
+	// 8 nodes × 4 events each.
+	if got := len(rec.Events()); got != 32 {
+		t.Fatalf("events = %d, want 32", got)
+	}
+	if got := rec.Stages(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("stages = %v", got)
+	}
+	// Stage 0: four dimension-1 subcubes.
+	views := rec.Stage(0)
+	if len(views) != 4 {
+		t.Fatalf("stage 0 views = %d", len(views))
+	}
+	for _, v := range views {
+		if !v.Agreed {
+			t.Fatalf("nodes disagree in honest run: %+v", v)
+		}
+		if len(v.Assembled) != 2 {
+			t.Fatalf("stage 0 assembled = %v", v.Assembled)
+		}
+	}
+	// Final: one whole-cube view, sorted.
+	finals := rec.Stage(3)
+	if len(finals) != 1 || !finals[0].Final {
+		t.Fatalf("final views = %+v", finals)
+	}
+	want := []int64{2, 3, 4, 5, 7, 8, 9, 10}
+	for i := range want {
+		if finals[0].Assembled[i] != want[i] {
+			t.Fatalf("final assembled = %v", finals[0].Assembled)
+		}
+	}
+	// ByNode ordering.
+	evs := rec.ByNode(5)
+	if len(evs) != 4 {
+		t.Fatalf("node 5 events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Stage < evs[i-1].Stage {
+			t.Fatal("ByNode not stage-ordered")
+		}
+	}
+}
+
+func TestRecorderRender(t *testing.T) {
+	var rec Recorder
+	hook := rec.Hook()
+	sc := hypercube.Subcube{Dim: 1, Start: 0, End: 1}
+	hook(core.TraceEvent{Node: 0, Stage: 0, Subcube: sc, Assembled: []int64{5, 1}})
+	hook(core.TraceEvent{Node: 1, Stage: 0, Subcube: sc, Assembled: []int64{5, 1}})
+	out := rec.Render()
+	if !strings.Contains(out, "End of stage 0") || !strings.Contains(out, "SC[0..1]") {
+		t.Errorf("Render = %q", out)
+	}
+	if strings.Contains(out, "DISAGREE") {
+		t.Errorf("agreeing views flagged: %q", out)
+	}
+}
+
+func TestRecorderFlagsDisagreement(t *testing.T) {
+	var rec Recorder
+	hook := rec.Hook()
+	sc := hypercube.Subcube{Dim: 1, Start: 2, End: 3}
+	hook(core.TraceEvent{Node: 2, Stage: 1, Subcube: sc, Assembled: []int64{1, 2}})
+	hook(core.TraceEvent{Node: 3, Stage: 1, Subcube: sc, Assembled: []int64{1, 99}})
+	views := rec.Stage(1)
+	if len(views) != 1 || views[0].Agreed {
+		t.Fatalf("views = %+v", views)
+	}
+	if !strings.Contains(rec.Render(), "DISAGREE") {
+		t.Error("Render does not flag disagreement")
+	}
+	// Length mismatch is also disagreement.
+	var rec2 Recorder
+	h2 := rec2.Hook()
+	h2(core.TraceEvent{Node: 2, Stage: 1, Subcube: sc, Assembled: []int64{1, 2}})
+	h2(core.TraceEvent{Node: 3, Stage: 1, Subcube: sc, Assembled: []int64{1}})
+	if rec2.Stage(1)[0].Agreed {
+		t.Error("length mismatch not flagged")
+	}
+}
+
+func TestRecorderCopiesAssembled(t *testing.T) {
+	var rec Recorder
+	hook := rec.Hook()
+	buf := []int64{7, 8}
+	hook(core.TraceEvent{Node: 0, Stage: 0, Subcube: hypercube.Subcube{Dim: 1, Start: 0, End: 1}, Assembled: buf})
+	buf[0] = -1 // producer reuses its buffer
+	if rec.Events()[0].Assembled[0] != 7 {
+		t.Error("recorder did not copy the assembled slice")
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	var rec Recorder
+	if len(rec.Events()) != 0 || len(rec.Stages()) != 0 || rec.Render() != "" {
+		t.Error("zero-value recorder not empty")
+	}
+	if len(rec.Stage(0)) != 0 || len(rec.ByNode(3)) != 0 {
+		t.Error("zero-value recorder queries not empty")
+	}
+}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// The Byzantine fault model hands the decoders arbitrary bytes; they
+// must reject garbage with errors, never panic or over-allocate.
+
+func FuzzDecodeMessage(f *testing.F) {
+	good, err := Encode(Message{Kind: KindFTExchange, From: 1, To: 2, Stage: 3, Iter: 1,
+		Payload: []byte{1, 2, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add(make([]byte, 21))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode.
+		if _, err := Encode(m); err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeFTExchange(f *testing.F) {
+	v := NewView(0, 4)
+	v.Mask.Add(1)
+	v.Vals = []int64{42}
+	good, err := EncodeFTExchange(FTExchangePayload{Keys: []int64{1, 2}, View: v})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeFTExchange(data)
+		if err != nil {
+			return
+		}
+		if err := p.View.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid view: %v", err)
+		}
+		if _, err := EncodeFTExchange(p); err != nil {
+			t.Fatalf("decoded payload does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeVerify(f *testing.F) {
+	v := NewBlockView(4, 2, 3)
+	v.Mask.Add(0)
+	v.Vals = []int64{7, 8, 9}
+	good, err := EncodeVerify(VerifyPayload{View: v})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeVerify(data)
+		if err != nil {
+			return
+		}
+		if err := p.View.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid view: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeError(f *testing.F) {
+	f.Add(EncodeError(ErrorPayload{Predicate: "progress", Detail: "x"}))
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeError(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeError(EncodeError(p))
+		if err != nil || back != p {
+			t.Fatalf("round trip mismatch: %+v vs %+v (%v)", p, back, err)
+		}
+	})
+}
+
+func FuzzBitsetFromWords(f *testing.F) {
+	f.Add(10, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, n int, raw []byte) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			for k := 0; k < 8; k++ {
+				words[i] |= uint64(raw[i*8+k]) << uint(8*k)
+			}
+		}
+		s, err := bitset.FromWords(n, words)
+		if err != nil {
+			return
+		}
+		if s.Count() > n {
+			t.Fatalf("count %d exceeds length %d", s.Count(), n)
+		}
+	})
+}

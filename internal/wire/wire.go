@@ -1,0 +1,486 @@
+// Package wire defines the on-the-wire message format exchanged by
+// node processors and the host. Messages are serialized with
+// encoding/binary (little endian) so the simulator can charge
+// communication cost by *byte length*, reproducing the paper's
+// observation that the fault-tolerant algorithm S_FT keeps the message
+// count of S_NR while growing the message length.
+//
+// The format deliberately carries no checksums: the paper's threat
+// model is Byzantine (arbitrarily corrupted) messages, and detection is
+// the job of the application-level constraint predicate, not the
+// transport.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Kind discriminates message payloads.
+type Kind uint8
+
+// Message kinds. Values are fixed wire constants; do not reorder.
+const (
+	// KindExchange is an S_NR compare-exchange message carrying keys only.
+	KindExchange Kind = iota + 1
+	// KindFTExchange is an S_FT compare-exchange message carrying keys
+	// plus the piggybacked bitonic-sequence view (LBS).
+	KindFTExchange
+	// KindVerify is the final pure-exchange verification message of
+	// S_FT, carrying a view only.
+	KindVerify
+	// KindHostUpload carries node data to the host (sequential baselines).
+	KindHostUpload
+	// KindHostDownload carries host data to a node.
+	KindHostDownload
+	// KindError is a node's diagnostic ERROR signal to the host.
+	KindError
+)
+
+var kindNames = map[Kind]string{
+	KindExchange:     "exchange",
+	KindFTExchange:   "ft-exchange",
+	KindVerify:       "verify",
+	KindHostUpload:   "host-upload",
+	KindHostDownload: "host-download",
+	KindError:        "error",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined message kind.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// Message is the unit of communication between processors. From/To are
+// node labels (HostID for the host). Stage and Iter are the (i, j)
+// loop indices of the bitonic schedule at sending time, letting the
+// receiver match messages to protocol steps.
+type Message struct {
+	Kind    Kind
+	From    int32
+	To      int32
+	Stage   int32
+	Iter    int32
+	Payload []byte
+}
+
+// HostID is the pseudo-node label of the host processor.
+const HostID int32 = -1
+
+// headerLen is the encoded size of the fixed header:
+// kind(1) + from(4) + to(4) + stage(4) + iter(4) + payloadLen(4).
+const headerLen = 1 + 4*5
+
+// MaxPayload bounds a single message payload; it exists only to reject
+// absurd length fields in corrupted headers before allocation.
+const MaxPayload = 1 << 26 // 64 MiB
+
+// ErrTruncated is returned when a buffer ends before a complete value.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Encode serializes the message. The encoding is
+// deterministic, so byte counts are reproducible across runs.
+func Encode(m Message) ([]byte, error) {
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("wire: encode: invalid kind %d", m.Kind)
+	}
+	if len(m.Payload) > MaxPayload {
+		return nil, fmt.Errorf("wire: encode: payload %d bytes exceeds max %d", len(m.Payload), MaxPayload)
+	}
+	buf := make([]byte, headerLen+len(m.Payload))
+	buf[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(m.From))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(m.To))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(m.Stage))
+	binary.LittleEndian.PutUint32(buf[13:], uint32(m.Iter))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(m.Payload)))
+	copy(buf[headerLen:], m.Payload)
+	return buf, nil
+}
+
+// Decode parses a message from buf. Trailing bytes after the declared
+// payload are an error: links are message-framed, not streams.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < headerLen {
+		return Message{}, ErrTruncated
+	}
+	m := Message{
+		Kind:  Kind(buf[0]),
+		From:  int32(binary.LittleEndian.Uint32(buf[1:])),
+		To:    int32(binary.LittleEndian.Uint32(buf[5:])),
+		Stage: int32(binary.LittleEndian.Uint32(buf[9:])),
+		Iter:  int32(binary.LittleEndian.Uint32(buf[13:])),
+	}
+	if !m.Kind.Valid() {
+		return Message{}, fmt.Errorf("wire: decode: invalid kind %d", buf[0])
+	}
+	n := binary.LittleEndian.Uint32(buf[17:])
+	if n > MaxPayload {
+		return Message{}, fmt.Errorf("wire: decode: payload length %d exceeds max %d", n, MaxPayload)
+	}
+	if len(buf) != headerLen+int(n) {
+		return Message{}, fmt.Errorf("wire: decode: buffer %d bytes, header declares %d: %w",
+			len(buf), headerLen+int(n), ErrTruncated)
+	}
+	m.Payload = make([]byte, n)
+	copy(m.Payload, buf[headerLen:])
+	return m, nil
+}
+
+// EncodedSize returns the number of bytes Encode will produce for a
+// message with the given payload length.
+func EncodedSize(payloadLen int) int { return headerLen + payloadLen }
+
+// --- payload building blocks -------------------------------------------
+
+// AppendKeys appends a length-prefixed key slice to buf.
+func AppendKeys(buf []byte, keys []int64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	return buf
+}
+
+// reader is a cursor over a payload buffer.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) keys() ([]int64, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > (len(r.buf)-r.off)/8 {
+		return nil, fmt.Errorf("wire: key count %d exceeds remaining buffer: %w", n, ErrTruncated)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes in payload", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// --- view ----------------------------------------------------------------
+
+// View is a node's partial knowledge of the bitonic sequence held by a
+// subcube: for each subcube slot (node label Base+k, 0 <= k < Size),
+// Mask records whether the value is known and Vals holds the known
+// values in ascending slot order. This is the LBS structure of
+// algorithm S_FT together with its lmask knowledge bit vector.
+//
+// In block sorting each slot holds BlockLen keys rather than one; Vals
+// then carries BlockLen consecutive keys per known slot. BlockLen is 1
+// for the one-key-per-node algorithms.
+type View struct {
+	Base     int32
+	Size     int32
+	BlockLen int32
+	Mask     bitset.Set
+	Vals     []int64
+}
+
+// NewView returns an empty one-key-per-slot view over the subcube
+// [base, base+size).
+func NewView(base, size int) View {
+	return NewBlockView(base, size, 1)
+}
+
+// NewBlockView returns an empty view whose slots each hold blockLen keys.
+func NewBlockView(base, size, blockLen int) View {
+	return View{Base: int32(base), Size: int32(size), BlockLen: int32(blockLen), Mask: bitset.New(size)}
+}
+
+// Validate checks structural invariants: non-negative bounds, positive
+// block length, mask length matching Size, and BlockLen values per set
+// mask bit.
+func (v View) Validate() error {
+	if v.Base < 0 || v.Size < 0 {
+		return fmt.Errorf("wire: view bounds base=%d size=%d invalid", v.Base, v.Size)
+	}
+	if v.BlockLen < 1 {
+		return fmt.Errorf("wire: view block length %d invalid", v.BlockLen)
+	}
+	if v.Mask.Len() != int(v.Size) {
+		return fmt.Errorf("wire: view mask length %d != size %d", v.Mask.Len(), v.Size)
+	}
+	if len(v.Vals) != v.Mask.Count()*int(v.BlockLen) {
+		return fmt.Errorf("wire: view has %d values for %d known slots of %d keys",
+			len(v.Vals), v.Mask.Count(), v.BlockLen)
+	}
+	return nil
+}
+
+// Block returns the keys of the i-th known slot (in mask index order).
+func (v View) Block(i int) []int64 {
+	b := int(v.BlockLen)
+	return v.Vals[i*b : (i+1)*b]
+}
+
+// AppendView appends the view's encoding to buf:
+// base(4) size(4) blockLen(4) words(8 each) vals(8 each).
+func AppendView(buf []byte, v View) ([]byte, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Base))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.BlockLen))
+	for _, w := range v.Mask.Words() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	for _, k := range v.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+	}
+	return buf, nil
+}
+
+func (r *reader) view() (View, error) {
+	base, err := r.u32()
+	if err != nil {
+		return View{}, err
+	}
+	size, err := r.u32()
+	if err != nil {
+		return View{}, err
+	}
+	blockLen, err := r.u32()
+	if err != nil {
+		return View{}, err
+	}
+	if size > MaxPayload/8 || blockLen < 1 || blockLen > MaxPayload/8 {
+		return View{}, fmt.Errorf("wire: view size %d block %d implausible: %w", size, blockLen, ErrTruncated)
+	}
+	nWords := (int(size) + 63) / 64
+	words := make([]uint64, nWords)
+	for i := range words {
+		w, err := r.u64()
+		if err != nil {
+			return View{}, err
+		}
+		words[i] = w
+	}
+	mask, err := bitset.FromWords(int(size), words)
+	if err != nil {
+		return View{}, fmt.Errorf("wire: view mask: %w", err)
+	}
+	total := mask.Count() * int(blockLen)
+	if total > (len(r.buf)-r.off)/8 {
+		return View{}, fmt.Errorf("wire: view claims %d values beyond buffer: %w", total, ErrTruncated)
+	}
+	vals := make([]int64, total)
+	for i := range vals {
+		x, err := r.u64()
+		if err != nil {
+			return View{}, err
+		}
+		vals[i] = int64(x)
+	}
+	return View{Base: int32(base), Size: int32(size), BlockLen: int32(blockLen), Mask: mask, Vals: vals}, nil
+}
+
+// ViewEncodedSize returns the payload bytes AppendView produces for a
+// view over size slots with known known slots of blockLen keys each.
+func ViewEncodedSize(size, known, blockLen int) int {
+	return 4 + 4 + 4 + 8*((size+63)/64) + 8*known*blockLen
+}
+
+// --- composite payloads ----------------------------------------------------
+
+// ExchangePayload is the body of a KindExchange message: the compare-
+// exchange keys only (one key from the passive node, the min/max pair
+// back from the active node, or a block of m keys in block sorting).
+type ExchangePayload struct {
+	Keys []int64
+}
+
+// EncodeExchange serializes an ExchangePayload.
+func EncodeExchange(p ExchangePayload) []byte {
+	return AppendKeys(nil, p.Keys)
+}
+
+// DecodeExchange parses an ExchangePayload.
+func DecodeExchange(buf []byte) (ExchangePayload, error) {
+	r := &reader{buf: buf}
+	keys, err := r.keys()
+	if err != nil {
+		return ExchangePayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return ExchangePayload{}, err
+	}
+	return ExchangePayload{Keys: keys}, nil
+}
+
+// FTExchangePayload is the body of a KindFTExchange message: the
+// compare-exchange keys plus the sender's piggybacked view of the
+// current stage's bitonic sequence (LBS).
+type FTExchangePayload struct {
+	Keys []int64
+	View View
+}
+
+// EncodeFTExchange serializes an FTExchangePayload.
+func EncodeFTExchange(p FTExchangePayload) ([]byte, error) {
+	buf := AppendKeys(nil, p.Keys)
+	return AppendView(buf, p.View)
+}
+
+// DecodeFTExchange parses an FTExchangePayload.
+func DecodeFTExchange(buf []byte) (FTExchangePayload, error) {
+	r := &reader{buf: buf}
+	keys, err := r.keys()
+	if err != nil {
+		return FTExchangePayload{}, err
+	}
+	v, err := r.view()
+	if err != nil {
+		return FTExchangePayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return FTExchangePayload{}, err
+	}
+	return FTExchangePayload{Keys: keys, View: v}, nil
+}
+
+// VerifyPayload is the body of a KindVerify message: the final sorted
+// view exchanged in S_FT's last pure-verification stage.
+type VerifyPayload struct {
+	View View
+}
+
+// EncodeVerify serializes a VerifyPayload.
+func EncodeVerify(p VerifyPayload) ([]byte, error) {
+	return AppendView(nil, p.View)
+}
+
+// DecodeVerify parses a VerifyPayload.
+func DecodeVerify(buf []byte) (VerifyPayload, error) {
+	r := &reader{buf: buf}
+	v, err := r.view()
+	if err != nil {
+		return VerifyPayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return VerifyPayload{}, err
+	}
+	return VerifyPayload{View: v}, nil
+}
+
+// HostPayload is the body of host upload/download messages.
+type HostPayload struct {
+	Keys []int64
+}
+
+// EncodeHost serializes a HostPayload.
+func EncodeHost(p HostPayload) []byte { return AppendKeys(nil, p.Keys) }
+
+// DecodeHost parses a HostPayload.
+func DecodeHost(buf []byte) (HostPayload, error) {
+	r := &reader{buf: buf}
+	keys, err := r.keys()
+	if err != nil {
+		return HostPayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return HostPayload{}, err
+	}
+	return HostPayload{Keys: keys}, nil
+}
+
+// ErrorPayload is the body of a node's ERROR signal to the host: which
+// constraint predicate failed, whom the evidence implicates, and a
+// short description.
+type ErrorPayload struct {
+	Predicate string // "progress", "feasibility", "consistency", "protocol"
+	// Accused is the node the evidence implicates, -1 when none.
+	Accused int32
+	Detail  string
+}
+
+// EncodeError serializes an ErrorPayload.
+func EncodeError(p ErrorPayload) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(p.Predicate)))
+	buf = append(buf, p.Predicate...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Accused))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Detail)))
+	buf = append(buf, p.Detail...)
+	return buf
+}
+
+// DecodeError parses an ErrorPayload.
+func DecodeError(buf []byte) (ErrorPayload, error) {
+	r := &reader{buf: buf}
+	pred, err := r.str()
+	if err != nil {
+		return ErrorPayload{}, err
+	}
+	acc, err := r.u32()
+	if err != nil {
+		return ErrorPayload{}, err
+	}
+	det, err := r.str()
+	if err != nil {
+		return ErrorPayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return ErrorPayload{}, err
+	}
+	return ErrorPayload{Predicate: pred, Accused: int32(acc), Detail: det}, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > len(r.buf)-r.off {
+		return "", fmt.Errorf("wire: string length %d exceeds remaining buffer: %w", n, ErrTruncated)
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
