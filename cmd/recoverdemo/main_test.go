@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTransientRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-strategy", "view-lie", "-site", "6", "-timeout", "100ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"transient view-lie fault at physical node 6",
+		"fail-stop",
+		"decision: retry",
+		"verified clean",
+		"Verified result",
+		"quarantined:     []",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPersistentQuarantine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-strategy", "split-lie", "-site", "5", "-persistent", "-timeout", "100ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"persistent split-lie fault at physical node 5",
+		"quarantine node 5, shrink to dim 2",
+		"verified clean",
+		"quarantined:     [5]",
+		"final cube dim:  2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-strategy", "nonsense"}, &buf); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+	if err := run([]string{"-dim", "0"}, &buf); err == nil {
+		t.Error("dim 0: want error")
+	}
+	if err := run([]string{"-site", "99"}, &buf); err == nil {
+		t.Error("site outside cube: want error")
+	}
+}

@@ -1,15 +1,22 @@
 // Retry: what "reliable communication of diagnostic information is
 // provided to the system so that appropriate actions may be taken"
-// (the paper's §1) looks like in practice.
+// (the paper's §1) looks like in practice — with the appropriate
+// actions now taken by the recovery supervisor behind
+// reliablesort.Sort's AutoRecover option.
 //
 //	go run ./examples/retry
 //
-// A node suffers a *transient* Byzantine episode — a cosmic-ray bit
-// flip that corrupts its messages for one run. The constraint
-// predicate detects it and fail-stops; the host reads the diagnosis
-// (which node, which stage, which predicate) and takes the appropriate
-// action: re-run the sort. The episode has passed, the second run
-// verifies clean, and the caller never saw a wrong answer.
+// Act 1: a node suffers a *transient* Byzantine episode — a cosmic-ray
+// bit flip that corrupts its messages for one run. The constraint
+// predicate detects it and fail-stops; the supervisor diagnoses the
+// evidence, backs off, and re-runs. The episode has passed, the second
+// attempt verifies clean, and the caller never saw a wrong answer.
+//
+// Act 2: the same node is *persistently* faulty — it lies again on the
+// retry. Two consecutive attempts accuse the same prime suspect, so
+// the supervisor quarantines it: the survivors are remapped onto the
+// next-smaller subcube (the host-held input is the reliable
+// checkpoint) and the degraded cube finishes the job.
 package main
 
 import (
@@ -17,51 +24,69 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/checker"
-	"repro/internal/core"
+	"repro/internal/blocksort"
 	"repro/internal/fault"
-	"repro/internal/simnet"
+	"repro/internal/reliablesort"
 )
 
-func main() {
-	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
-	const dim = 3
+func run(title string, persistent bool) {
+	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5, 31, -6, 14, 0, 22, -9, 17, 1}
+	const culprit = 6
 
-	// The transient fault: active only on the first attempt.
-	episode := fault.Spec{
-		Node:          6,
-		Strategy:      fault.ViewLie,
-		ActivateStage: 1,
-		LieValue:      -404,
+	fmt.Printf("=== %s ===\n", title)
+	inject := func(attempt, dim int, physical []int) []blocksort.Options {
+		opts := make([]blocksort.Options, 1<<uint(dim))
+		if !persistent && attempt > 0 {
+			return opts // the episode has passed
+		}
+		for logical, ph := range physical {
+			if ph == culprit {
+				spec := fault.Spec{Node: logical, Strategy: fault.ViewLie, ActivateStage: 1, LieValue: -404}
+				opts[logical] = blocksort.Options{SkipChecks: true, Tamper: spec.Tamper()}
+			}
+		}
+		return opts
 	}
 
-	for attempt := 1; ; attempt++ {
-		nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 200 * time.Millisecond})
-		if err != nil {
-			log.Fatal(err)
+	out, stats, err := reliablesort.Sort(keys, reliablesort.Options{
+		Dim:         3,
+		RecvTimeout: 200 * time.Millisecond,
+		AutoRecover: true,
+		MaxAttempts: 5,
+		Inject:      inject,
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+
+	for _, a := range stats.Recovery.Attempts {
+		fmt.Printf("attempt %d on a dim-%d cube", a.Index+1, a.Dim)
+		if a.Backoff > 0 {
+			fmt.Printf(" (after %v backoff)", a.Backoff.Round(time.Millisecond))
 		}
-		opts := make([]core.Options, 1<<dim)
-		if attempt == 1 {
-			opts[episode.Node] = core.Options{SkipChecks: true, Tamper: episode.Tamper()}
+		if a.Verified {
+			fmt.Println(": verified clean")
+			continue
 		}
-		oc, err := core.RunWithOptions(nw, keys, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !oc.Detected() {
-			if err := checker.Verify(keys, oc.Sorted, true); err != nil {
-				log.Fatalf("undetected corruption — impossible under Theorem 3: %v", err)
-			}
-			fmt.Printf("attempt %d: verified result %v\n", attempt, oc.Sorted)
-			return
-		}
-		fmt.Printf("attempt %d: fail-stop. Diagnostics the host received:\n", attempt)
-		for _, he := range oc.HostErrors {
+		fmt.Println(": fail-stop")
+		for _, he := range a.HostErrors {
 			fmt.Printf("  node %d, stage %d: %s predicate — %s\n", he.Node, he.Stage, he.Predicate, he.Detail)
 		}
-		fmt.Println("  appropriate action: retry")
-		if attempt >= 3 {
-			log.Fatal("fault persisted across retries; escalating")
+		if len(a.Suspects) > 0 {
+			fmt.Printf("  prime suspect: physical node %d\n", a.Suspects[0].Node)
+		}
+		if a.Quarantined >= 0 {
+			fmt.Printf("  appropriate action: quarantine node %d, shrink to dim %d\n", a.Quarantined, a.Dim-1)
+		} else {
+			fmt.Println("  appropriate action: retry")
 		}
 	}
+	fmt.Printf("result: %v\n", out)
+	fmt.Printf("cost: %d attempts, %d wasted ticks, quarantined %v\n\n",
+		stats.Attempts, stats.Recovery.WastedCost, stats.Recovery.Quarantined)
+}
+
+func main() {
+	run("Act 1: transient episode — retry suffices", false)
+	run("Act 2: persistent fault — quarantine and shrink", true)
 }

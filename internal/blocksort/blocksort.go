@@ -238,6 +238,8 @@ func drainHostErrors(nw transport.Network) []core.HostError {
 			Stage:     int(m.Stage),
 			Iter:      int(m.Iter),
 			Predicate: p.Predicate,
+			Kind:      core.ErrorKind(p.Kind),
+			Accused:   int(p.Accused),
 			Detail:    p.Detail,
 		})
 	}

@@ -1,6 +1,7 @@
 package blocksort
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitonic"
@@ -179,13 +180,30 @@ type ftRunner struct {
 	m    int
 }
 
+// fail constructs the node's predicate error with no specific accused
+// node (shape evidence); failFrom implicates a sender, failAbsent
+// reports a missing message. Mirrors the core package's S_FT runner.
 func (r *ftRunner) fail(kind error, stage, iter int, format string, args ...any) error {
+	return r.failEvidence(kind, core.KindShape, stage, iter, -1, format, args...)
+}
+
+func (r *ftRunner) failFrom(kind error, stage, iter, accused int, format string, args ...any) error {
+	return r.failEvidence(kind, core.KindValue, stage, iter, accused, format, args...)
+}
+
+func (r *ftRunner) failAbsent(kind error, stage, iter, accused int, format string, args ...any) error {
+	return r.failEvidence(kind, core.KindAbsence, stage, iter, accused, format, args...)
+}
+
+func (r *ftRunner) failEvidence(kind error, ev core.ErrorKind, stage, iter, accused int, format string, args ...any) error {
 	pe := &core.PredicateError{
-		Node:   r.ep.ID(),
-		Stage:  stage,
-		Iter:   iter,
-		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
+		Node:     r.ep.ID(),
+		Stage:    stage,
+		Iter:     iter,
+		Kind:     kind,
+		Evidence: ev,
+		Accused:  accused,
+		Detail:   fmt.Sprintf(format, args...),
 	}
 	_ = r.ep.SendHost(wire.Message{
 		Kind:  wire.KindError,
@@ -193,6 +211,8 @@ func (r *ftRunner) fail(kind error, stage, iter int, format string, args ...any)
 		Iter:  int32(iter),
 		Payload: wire.EncodeError(wire.ErrorPayload{
 			Predicate: core.PredicateName(kind),
+			Kind:      uint8(ev),
+			Accused:   int32(accused),
 			Detail:    pe.Detail,
 		}),
 	})
@@ -301,9 +321,9 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 			switch {
 			case derr != nil && r.opts.SkipChecks:
 			case derr != nil:
-				return nil, r.fail(core.ErrProtocol, s, j, "undecodable exchange from %d: %v", partner, derr)
+				return nil, r.failFrom(core.ErrProtocol, s, j, partner, "undecodable exchange from %d: %v", partner, derr)
 			case len(p.Keys) != r.m && !r.opts.SkipChecks:
-				return nil, r.fail(core.ErrProtocol, s, j, "expected %d keys from %d, got %d", r.m, partner, len(p.Keys))
+				return nil, r.failFrom(core.ErrProtocol, s, j, partner, "expected %d keys from %d, got %d", r.m, partner, len(p.Keys))
 			default:
 				if len(p.Keys) == r.m {
 					theirs = p.Keys
@@ -312,7 +332,17 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 					return nil, err
 				}
 				if !r.opts.SkipChecks && !bitonic.IsSorted(theirs, true) {
-					return nil, r.fail(core.ErrProtocol, s, j, "block from %d not sorted", partner)
+					return nil, r.failFrom(core.ErrProtocol, s, j, partner, "block from %d not sorted", partner)
+				}
+				// At the stage's first iteration the sender's block and
+				// its own relayed view entry are both its stage-start
+				// block; disagreement proves the sender lied about one
+				// of them (Φ_C, with the liar named).
+				if !r.opts.SkipChecks && j == s {
+					if idx := partner - view.sc.Start; view.have.Has(idx) && !equalKeys(theirs, view.blocks[idx]) {
+						return nil, r.failFrom(core.ErrConsistency, s, j, partner,
+							"stage-start keys from %d disagree with its relayed view entry", partner)
+					}
 				}
 			}
 		}
@@ -359,13 +389,13 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		if r.opts.SkipChecks {
 			return mine, nil
 		}
-		return nil, r.fail(core.ErrProtocol, s, j, "undecodable exchange from %d: %v", partner, derr)
+		return nil, r.failFrom(core.ErrProtocol, s, j, partner, "undecodable exchange from %d: %v", partner, derr)
 	}
 	if len(p.Keys) != 2*r.m {
 		if r.opts.SkipChecks {
 			return mine, nil
 		}
-		return nil, r.fail(core.ErrProtocol, s, j, "expected %d keys from %d, got %d", 2*r.m, partner, len(p.Keys))
+		return nil, r.failFrom(core.ErrProtocol, s, j, partner, "expected %d keys from %d, got %d", 2*r.m, partner, len(p.Keys))
 	}
 	if err := r.mergeView(view, p.View, s, j, partner, true); err != nil {
 		return nil, err
@@ -373,14 +403,14 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 	keep, give := p.Keys[:r.m], p.Keys[r.m:]
 	if !r.opts.SkipChecks {
 		if !bitonic.IsSorted(keep, true) || !bitonic.IsSorted(give, true) {
-			return nil, r.fail(core.ErrProtocol, s, j, "merge-split reply from %d has unsorted halves", partner)
+			return nil, r.failFrom(core.ErrProtocol, s, j, partner, "merge-split reply from %d has unsorted halves", partner)
 		}
 		if ascending && keep[r.m-1] > give[0] {
-			return nil, r.fail(core.ErrProtocol, s, j,
+			return nil, r.failFrom(core.ErrProtocol, s, j, partner,
 				"ascending merge-split reply from %d misordered (%d > %d)", partner, keep[r.m-1], give[0])
 		}
 		if !ascending && keep[0] < give[r.m-1] {
-			return nil, r.fail(core.ErrProtocol, s, j,
+			return nil, r.failFrom(core.ErrProtocol, s, j, partner,
 				"descending merge-split reply from %d misordered (%d < %d)", partner, keep[0], give[r.m-1])
 		}
 		// At the stage's first iteration both input blocks are known
@@ -395,7 +425,7 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 						wantKeep, wantGive = wantHi, wantLo
 					}
 					if !equalKeys(keep, wantKeep) || !equalKeys(give, wantGive) {
-						return nil, r.fail(core.ErrProtocol, s, j,
+						return nil, r.failFrom(core.ErrProtocol, s, j, partner,
 							"merge-split by %d returned wrong halves", partner)
 					}
 				}
@@ -433,7 +463,7 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 		if ok {
 			p, derr := wire.DecodeVerify(m.Payload)
 			if derr != nil && !r.opts.SkipChecks {
-				return r.fail(core.ErrProtocol, stageLabel, j, "undecodable verify from %d: %v", partner, derr)
+				return r.failFrom(core.ErrProtocol, stageLabel, j, partner, "undecodable verify from %d: %v", partner, derr)
 			}
 			if derr == nil {
 				if err := r.mergeView(view, p.View, s, j, partner, false); err != nil {
@@ -467,7 +497,7 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 		if r.opts.SkipChecks {
 			return nil
 		}
-		return r.fail(core.ErrProtocol, stageLabel, j, "undecodable verify from %d: %v", partner, derr)
+		return r.failFrom(core.ErrProtocol, stageLabel, j, partner, "undecodable verify from %d: %v", partner, derr)
 	}
 	return r.mergeView(view, p.View, s, j, partner, true)
 }
@@ -489,7 +519,7 @@ func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, po
 		return fmt.Errorf("blocksort: %w", err)
 	}
 	if merr := view.mergeChecked(rv, expected); merr != nil {
-		return r.fail(core.ErrConsistency, s, j, "view from %d: %v", sender, merr)
+		return r.failFrom(core.ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)
 	}
 	return nil
 }
@@ -500,14 +530,17 @@ func (r *ftRunner) recvChecked(bit int, kind wire.Kind, stage, iter, partner int
 		if r.opts.SkipChecks {
 			return wire.Message{}, false, nil
 		}
-		return wire.Message{}, false, r.fail(core.ErrProtocol, stage, iter, "receive from %d: %v", partner, err)
+		if errors.Is(err, transport.ErrAbsent) {
+			return wire.Message{}, false, r.failAbsent(core.ErrProtocol, stage, iter, partner, "receive from %d: %v", partner, err)
+		}
+		return wire.Message{}, false, r.failFrom(core.ErrProtocol, stage, iter, partner, "receive from %d: %v", partner, err)
 	}
 	if m.Kind != kind || int(m.Stage) != stage || int(m.Iter) != iter ||
 		int(m.From) != partner || int(m.To) != r.ep.ID() {
 		if r.opts.SkipChecks {
 			return wire.Message{}, false, nil
 		}
-		return wire.Message{}, false, r.fail(core.ErrProtocol, stage, iter,
+		return wire.Message{}, false, r.failFrom(core.ErrProtocol, stage, iter, partner,
 			"unexpected header kind=%v stage=%d iter=%d from=%d (want kind=%v stage=%d iter=%d from=%d)",
 			m.Kind, m.Stage, m.Iter, m.From, kind, stage, iter, partner)
 	}

@@ -25,6 +25,41 @@ var (
 	ErrProtocol = errors.New("core: protocol violated")
 )
 
+// ErrorKind classifies the *evidence* behind a detection, orthogonally
+// to which predicate fired: a concrete bad value or header from an
+// identifiable sender, the absence of an expected message, or an
+// unattributed shape failure over an assembled sequence. It rides the
+// ERROR signal so diagnosis (internal/diagnose) keys off structure
+// instead of parsing human-readable detail text.
+type ErrorKind uint8
+
+const (
+	// KindValue: the evidence is a concrete bad value, view, or header
+	// received from an identifiable sender.
+	KindValue ErrorKind = iota
+	// KindAbsence: an expected message never arrived (timeout). Weak
+	// evidence — once one honest node fail-stops, its silent links
+	// accuse *it* in cascades.
+	KindAbsence
+	// KindShape: a shape or permutation check over an assembled
+	// sequence failed without implicating a specific sender.
+	KindShape
+)
+
+// String returns the kind's wire-stable name.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindValue:
+		return "value"
+	case KindAbsence:
+		return "absence"
+	case KindShape:
+		return "shape"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
 // PredicateError carries the full diagnostic a node ships to the host
 // when an executable assertion fires.
 type PredicateError struct {
@@ -36,6 +71,9 @@ type PredicateError struct {
 	Iter  int
 	// Kind is the violated predicate sentinel (ErrProgress, ...).
 	Kind error
+	// Evidence classifies what fired the assertion (value, absence,
+	// shape).
+	Evidence ErrorKind
 	// Accused is the node whose message triggered the assertion, or
 	// -1 when the evidence does not implicate a specific sender
 	// (shape/permutation failures over an assembled sequence).

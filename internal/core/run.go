@@ -18,6 +18,9 @@ type HostError struct {
 	Iter  int
 	// Predicate names the violated predicate class.
 	Predicate string
+	// Kind is the structured evidence class (value, absence, shape);
+	// diagnosis keys off it, Detail stays human-readable only.
+	Kind ErrorKind
 	// Accused is the node the evidence implicates, -1 when none.
 	Accused int
 	// Detail describes the evidence.
@@ -102,6 +105,7 @@ func drainHostErrors(nw transport.Network) []HostError {
 			Stage:     int(m.Stage),
 			Iter:      int(m.Iter),
 			Predicate: p.Predicate,
+			Kind:      ErrorKind(p.Kind),
 			Accused:   int(p.Accused),
 			Detail:    p.Detail,
 		})

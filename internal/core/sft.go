@@ -18,6 +18,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -107,23 +108,34 @@ type sftRunner struct {
 }
 
 // fail constructs the node's predicate error with no specific accused
-// node; failFrom is the variant used when the evidence implicates a
-// sender.
+// node (shape evidence); failFrom is the variant used when the
+// evidence implicates a sender, failAbsent when the evidence is a
+// missing message.
 func (r *sftRunner) fail(kind error, stage, iter int, format string, args ...any) error {
-	return r.failFrom(kind, stage, iter, -1, format, args...)
+	return r.failEvidence(kind, KindShape, stage, iter, -1, format, args...)
 }
 
-// failFrom constructs the node's predicate error, signals ERROR (with
-// the accused node) to the host — the reliable diagnostic channel of
-// the paradigm — and returns the error so the node fail-stops.
 func (r *sftRunner) failFrom(kind error, stage, iter, accused int, format string, args ...any) error {
+	return r.failEvidence(kind, KindValue, stage, iter, accused, format, args...)
+}
+
+func (r *sftRunner) failAbsent(kind error, stage, iter, accused int, format string, args ...any) error {
+	return r.failEvidence(kind, KindAbsence, stage, iter, accused, format, args...)
+}
+
+// failEvidence constructs the node's predicate error, signals ERROR
+// (with the evidence kind and accused node) to the host — the reliable
+// diagnostic channel of the paradigm — and returns the error so the
+// node fail-stops.
+func (r *sftRunner) failEvidence(kind error, ev ErrorKind, stage, iter, accused int, format string, args ...any) error {
 	pe := &PredicateError{
-		Node:    r.ep.ID(),
-		Stage:   stage,
-		Iter:    iter,
-		Kind:    kind,
-		Accused: accused,
-		Detail:  fmt.Sprintf(format, args...),
+		Node:     r.ep.ID(),
+		Stage:    stage,
+		Iter:     iter,
+		Kind:     kind,
+		Evidence: ev,
+		Accused:  accused,
+		Detail:   fmt.Sprintf(format, args...),
 	}
 	// Host signalling is best-effort: the host link is reliable by
 	// assumption, but a full mailbox must not mask the local error.
@@ -133,6 +145,7 @@ func (r *sftRunner) failFrom(kind error, stage, iter, accused int, format string
 		Iter:  int32(iter),
 		Payload: wire.EncodeError(wire.ErrorPayload{
 			Predicate: PredicateName(kind),
+			Kind:      uint8(ev),
 			Accused:   int32(accused),
 			Detail:    pe.Detail,
 		}),
@@ -538,6 +551,9 @@ func (r *sftRunner) recvChecked(bit int, kind wire.Kind, stage, iter, partner in
 	if err != nil {
 		if r.opts.SkipChecks {
 			return wire.Message{}, false, nil
+		}
+		if errors.Is(err, transport.ErrAbsent) {
+			return wire.Message{}, false, r.failAbsent(ErrProtocol, stage, iter, partner, "receive from %d: %v", partner, err)
 		}
 		return wire.Message{}, false, r.failFrom(ErrProtocol, stage, iter, partner, "receive from %d: %v", partner, err)
 	}

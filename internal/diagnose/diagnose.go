@@ -41,12 +41,11 @@ type Suspect struct {
 	EarliestIter  int
 }
 
-// isAbsence classifies an ERROR as timeout-based from its evidence
-// text. The absence path is the only one whose detail embeds the
-// transport's "absent"/"timeout" wording, so this is reliable for
-// errors produced by this repository's runners.
+// isAbsence classifies an ERROR as timeout-based from its structured
+// evidence kind, populated at the detection sites. Detail is
+// human-readable only and is never parsed.
 func isAbsence(he core.HostError) bool {
-	return strings.Contains(he.Detail, "absent") || strings.Contains(he.Detail, "timeout")
+	return he.Kind == core.KindAbsence
 }
 
 // Rank aggregates the ERROR signals of one failed run into a suspect
@@ -54,6 +53,12 @@ func isAbsence(he core.HostError) bool {
 // an attribution (all evidence was shape-level).
 func Rank(errors []core.HostError) []Suspect {
 	byNode := map[int]*Suspect{}
+	// Iter counts down within a stage (j = i..0), so a larger
+	// iteration is earlier.
+	earlier := func(he core.HostError, s *Suspect) bool {
+		return he.Stage < s.EarliestStage ||
+			(he.Stage == s.EarliestStage && he.Iter > s.EarliestIter)
+	}
 	add := func(he core.HostError, direct bool) {
 		if he.Accused < 0 {
 			return
@@ -64,15 +69,16 @@ func Rank(errors []core.HostError) []Suspect {
 			byNode[he.Accused] = s
 		}
 		if direct {
-			if s.DirectVotes == 0 ||
-				he.Stage < s.EarliestStage ||
-				(he.Stage == s.EarliestStage && he.Iter > s.EarliestIter) {
-				// Iter counts down within a stage (j = i..0), so a
-				// larger iteration is earlier.
+			// The first direct accusation overrides any absence-based
+			// earliest: value evidence is what we want to time-order.
+			if s.DirectVotes == 0 || earlier(he, s) {
 				s.EarliestStage, s.EarliestIter = he.Stage, he.Iter
 			}
 			s.DirectVotes++
 		} else {
+			if s.DirectVotes == 0 && (s.AbsenceVotes == 0 || earlier(he, s)) {
+				s.EarliestStage, s.EarliestIter = he.Stage, he.Iter
+			}
 			s.AbsenceVotes++
 		}
 	}
@@ -94,6 +100,11 @@ func Rank(errors []core.HostError) []Suspect {
 		}
 		if a.EarliestStage != b.EarliestStage {
 			return a.EarliestStage < b.EarliestStage
+		}
+		// Within a stage the cascade's root is accused first (largest
+		// iteration), before its stalled dependents are.
+		if a.EarliestIter != b.EarliestIter {
+			return a.EarliestIter > b.EarliestIter
 		}
 		if a.AbsenceVotes != b.AbsenceVotes {
 			return a.AbsenceVotes > b.AbsenceVotes

@@ -12,11 +12,11 @@ import (
 
 func TestRankPrefersDirectEvidence(t *testing.T) {
 	errs := []core.HostError{
-		{Node: 0, Stage: 2, Iter: 0, Predicate: "protocol", Accused: 7,
+		{Node: 0, Stage: 2, Iter: 0, Predicate: "protocol", Kind: core.KindAbsence, Accused: 7,
 			Detail: "receive from 7: expected message absent (timeout)"},
-		{Node: 1, Stage: 1, Iter: 1, Predicate: "consistency", Accused: 5,
+		{Node: 1, Stage: 1, Iter: 1, Predicate: "consistency", Kind: core.KindValue, Accused: 5,
 			Detail: "slot 4: held copy 10 disagrees with relayed copy 99"},
-		{Node: 2, Stage: 2, Iter: 1, Predicate: "protocol", Accused: 5,
+		{Node: 2, Stage: 2, Iter: 1, Predicate: "protocol", Kind: core.KindValue, Accused: 5,
 			Detail: "misordered reply"},
 	}
 	ranked := Rank(errs)

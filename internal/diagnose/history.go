@@ -1,0 +1,75 @@
+package diagnose
+
+// NoSuspect marks an attempt that produced no attributable evidence.
+const NoSuspect = -1
+
+// History tracks prime-suspect accusations across successive recovery
+// attempts of the same logical sort, separating transient episodes
+// (a node accused once, then clean) from persistent faults (the same
+// node accused attempt after attempt). Node labels recorded here
+// should be stable across attempts — the recovery supervisor records
+// *physical* labels so the streak survives cube remapping.
+type History struct {
+	streakNode int
+	streak     int
+	attempts   int
+	votes      map[int]int
+}
+
+// NewHistory returns an empty accusation history.
+func NewHistory() *History {
+	return &History{streakNode: NoSuspect, votes: map[int]int{}}
+}
+
+// Record notes the prime suspect of one failed attempt; pass NoSuspect
+// when the attempt produced no attributable evidence (which breaks any
+// running streak — the fault is not following one node).
+func (h *History) Record(node int) {
+	h.attempts++
+	if node == NoSuspect {
+		h.streakNode, h.streak = NoSuspect, 0
+		return
+	}
+	h.votes[node]++
+	if node == h.streakNode {
+		h.streak++
+		return
+	}
+	h.streakNode, h.streak = node, 1
+}
+
+// Streak returns the node accused by every recent consecutive failed
+// attempt and the length of that run; NoSuspect, 0 when the last
+// attempt carried no accusation.
+func (h *History) Streak() (node, length int) {
+	return h.streakNode, h.streak
+}
+
+// Persistent reports the current streak node once it has been the
+// prime suspect in at least threshold consecutive attempts — the
+// signal that retrying alone will not clear the fault.
+func (h *History) Persistent(threshold int) (node int, ok bool) {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if h.streak >= threshold {
+		return h.streakNode, true
+	}
+	return NoSuspect, false
+}
+
+// Attempts returns how many failed attempts have been recorded.
+func (h *History) Attempts() int { return h.attempts }
+
+// Votes returns the total accusation count for a node across all
+// recorded attempts (not just the current streak).
+func (h *History) Votes(node int) int { return h.votes[node] }
+
+// Reset clears the history; the supervisor calls it after a quarantine
+// changes the topology, so stale accusations cannot condemn a second
+// node on old evidence.
+func (h *History) Reset() {
+	h.streakNode, h.streak = NoSuspect, 0
+	h.attempts = 0
+	h.votes = map[int]int{}
+}

@@ -1,0 +1,76 @@
+package diagnose
+
+import "testing"
+
+func TestHistoryStreaks(t *testing.T) {
+	h := NewHistory()
+	if _, ok := h.Persistent(2); ok {
+		t.Fatal("empty history reported persistence")
+	}
+	h.Record(5)
+	if node, n := h.Streak(); node != 5 || n != 1 {
+		t.Fatalf("Streak = %d,%d", node, n)
+	}
+	if _, ok := h.Persistent(2); ok {
+		t.Fatal("single accusation reported persistent at threshold 2")
+	}
+	h.Record(5)
+	node, ok := h.Persistent(2)
+	if !ok || node != 5 {
+		t.Fatalf("Persistent = %d,%v after two accusations of 5", node, ok)
+	}
+	if h.Attempts() != 2 || h.Votes(5) != 2 {
+		t.Fatalf("Attempts=%d Votes(5)=%d", h.Attempts(), h.Votes(5))
+	}
+}
+
+func TestHistoryStreakBrokenByOtherSuspect(t *testing.T) {
+	h := NewHistory()
+	h.Record(5)
+	h.Record(3)
+	if node, n := h.Streak(); node != 3 || n != 1 {
+		t.Fatalf("Streak = %d,%d, want 3,1", node, n)
+	}
+	if _, ok := h.Persistent(2); ok {
+		t.Fatal("alternating suspects reported persistent")
+	}
+	// Cumulative votes survive streak changes.
+	if h.Votes(5) != 1 || h.Votes(3) != 1 {
+		t.Fatalf("votes = %d,%d", h.Votes(5), h.Votes(3))
+	}
+}
+
+func TestHistoryStreakBrokenByNoSuspect(t *testing.T) {
+	h := NewHistory()
+	h.Record(7)
+	h.Record(NoSuspect)
+	if node, n := h.Streak(); node != NoSuspect || n != 0 {
+		t.Fatalf("Streak = %d,%d after unattributed attempt", node, n)
+	}
+	h.Record(7)
+	if _, ok := h.Persistent(2); ok {
+		t.Fatal("interrupted streak counted as persistent")
+	}
+}
+
+func TestHistoryReset(t *testing.T) {
+	h := NewHistory()
+	h.Record(2)
+	h.Record(2)
+	h.Reset()
+	if _, ok := h.Persistent(1); ok {
+		t.Fatal("reset history still persistent")
+	}
+	if h.Attempts() != 0 || h.Votes(2) != 0 {
+		t.Fatalf("reset left Attempts=%d Votes=%d", h.Attempts(), h.Votes(2))
+	}
+}
+
+func TestHistoryThresholdFloor(t *testing.T) {
+	h := NewHistory()
+	h.Record(4)
+	// threshold < 1 is clamped to 1: one accusation suffices.
+	if node, ok := h.Persistent(0); !ok || node != 4 {
+		t.Fatalf("Persistent(0) = %d,%v", node, ok)
+	}
+}

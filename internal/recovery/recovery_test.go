@@ -1,0 +1,268 @@
+package recovery
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diagnose"
+)
+
+// noSleep collects the waits the supervisor would have slept.
+func noSleep(log *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *log = append(*log, d) }
+}
+
+func accuse(node int) []core.HostError {
+	return []core.HostError{{
+		Node: 0, Stage: 1, Iter: 0, Predicate: "consistency",
+		Kind: core.KindValue, Accused: node, Detail: "copies differ",
+	}}
+}
+
+func TestSuperviseFirstAttemptSuccess(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	rep, err := Supervise(3, func(p Plan) Outcome {
+		calls++
+		if p.Attempt != 0 || p.Dim != 3 || len(p.Physical) != 8 {
+			t.Fatalf("plan = %+v", p)
+		}
+		for l, ph := range p.Physical {
+			if l != ph {
+				t.Fatalf("attempt 0 mapping not identity: %v", p.Physical)
+			}
+		}
+		return Outcome{Cost: 100}
+	}, Policy{Sleep: noSleep(&waits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || len(rep.Attempts) != 1 || !rep.Attempts[0].Verified {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.WastedCost != 0 || rep.TotalBackoff != 0 || len(waits) != 0 {
+		t.Fatalf("clean run accrued overhead: %+v waits=%v", rep, waits)
+	}
+	if rep.FinalDim != 3 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSuperviseTransientRetries(t *testing.T) {
+	var waits []time.Duration
+	calls := 0
+	rep, err := Supervise(3, func(p Plan) Outcome {
+		calls++
+		if p.Attempt == 0 {
+			return Outcome{HostErrors: accuse(5), Cost: 70, Err: errors.New("fault detected")}
+		}
+		return Outcome{Cost: 80}
+	}, Policy{Sleep: noSleep(&waits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || len(rep.Attempts) != 2 {
+		t.Fatalf("calls=%d attempts=%d", calls, len(rep.Attempts))
+	}
+	if rep.WastedCost != 70 {
+		t.Fatalf("WastedCost = %d", rep.WastedCost)
+	}
+	if len(waits) != 1 || waits[0] <= 0 {
+		t.Fatalf("waits = %v", waits)
+	}
+	if rep.TotalBackoff != waits[0] {
+		t.Fatalf("TotalBackoff = %v, slept %v", rep.TotalBackoff, waits)
+	}
+	a0 := rep.Attempts[0]
+	if len(a0.Suspects) != 1 || a0.Suspects[0].Node != 5 || a0.Quarantined != NoNode {
+		t.Fatalf("attempt 0 = %+v", a0)
+	}
+	// One transient accusation must not shrink the cube.
+	if rep.FinalDim != 3 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// A fault that follows physical node 5 across attempts is judged
+// persistent after two identical accusations; the supervisor drops it,
+// remaps onto a dim-2 subcube, and the degraded re-run succeeds.
+func TestSupervisePersistentQuarantineAndShrink(t *testing.T) {
+	var waits []time.Duration
+	var plans []Plan
+	rep, err := Supervise(3, func(p Plan) Outcome {
+		plans = append(plans, p)
+		for l, ph := range p.Physical {
+			if ph == 5 {
+				// The fault lives at physical node 5.
+				return Outcome{HostErrors: accuse(l), Cost: 50, Err: errors.New("fault detected")}
+			}
+		}
+		return Outcome{Cost: 60}
+	}, Policy{Sleep: noSleep(&waits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3 (fail, fail+quarantine, verified)", len(rep.Attempts))
+	}
+	if got := rep.Quarantined; len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Quarantined = %v", got)
+	}
+	if rep.Attempts[1].Quarantined != 5 {
+		t.Fatalf("attempt 1 = %+v", rep.Attempts[1])
+	}
+	if rep.FinalDim != 2 {
+		t.Fatalf("FinalDim = %d", rep.FinalDim)
+	}
+	last := plans[len(plans)-1]
+	if last.Dim != 2 || len(last.Physical) != 4 {
+		t.Fatalf("final plan = %+v", last)
+	}
+	// Node 5 has top bit 1 on a dim-3 cube, so the kept subcube is the
+	// lower half: physical labels 0..3.
+	for l, ph := range last.Physical {
+		if ph != l {
+			t.Fatalf("final mapping = %v", last.Physical)
+		}
+	}
+	if rep.WastedCost != 100 {
+		t.Fatalf("WastedCost = %d", rep.WastedCost)
+	}
+}
+
+// A suspect in the lower half must leave the upper half's labels
+// intact (relabeled by dropping the top axis bit).
+func TestShrinkKeepsOppositeHalf(t *testing.T) {
+	phys := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got := shrink(phys, 2, 3) // suspect logical 2: top bit 0 → keep upper half
+	want := []int{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("shrink = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shrink = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSuperviseExhaustion(t *testing.T) {
+	var waits []time.Duration
+	sentinel := errors.New("fault detected")
+	_, err := Supervise(2, func(p Plan) Outcome {
+		// Unattributable failure every time: nothing to quarantine.
+		return Outcome{Cost: 10, Err: sentinel}
+	}, Policy{MaxAttempts: 3, Sleep: noSleep(&waits)})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ex.Attempts) != 3 {
+		t.Fatalf("history = %d attempts", len(ex.Attempts))
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("ExhaustedError does not unwrap to the last attempt error")
+	}
+	if len(waits) != 2 {
+		t.Fatalf("waits = %v", waits)
+	}
+}
+
+// Alternating accusations (suspect changes every attempt) never reach
+// the persistence streak, so the cube is never shrunk.
+func TestSuperviseAlternatingSuspectsNeverQuarantines(t *testing.T) {
+	var waits []time.Duration
+	_, err := Supervise(3, func(p Plan) Outcome {
+		return Outcome{HostErrors: accuse(p.Attempt % 2), Err: errors.New("fault detected")}
+	}, Policy{MaxAttempts: 5, Sleep: noSleep(&waits)})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ex.Quarantined) != 0 {
+		t.Fatalf("Quarantined = %v", ex.Quarantined)
+	}
+	for _, a := range ex.Attempts {
+		if a.Dim != 3 {
+			t.Fatalf("attempt %d ran at dim %d", a.Index, a.Dim)
+		}
+	}
+}
+
+func TestSuperviseRespectsMinDim(t *testing.T) {
+	var waits []time.Duration
+	_, err := Supervise(1, func(p Plan) Outcome {
+		return Outcome{HostErrors: accuse(1), Err: errors.New("fault detected")}
+	}, Policy{MaxAttempts: 4, Sleep: noSleep(&waits)})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v", err)
+	}
+	// Persistent at dim 1 == MinDim: nothing to shrink to, so the
+	// supervisor retries until the budget runs out.
+	if len(ex.Quarantined) != 0 {
+		t.Fatalf("Quarantined = %v below MinDim", ex.Quarantined)
+	}
+	for _, a := range ex.Attempts {
+		if a.Dim != 1 || len(a.Physical) != 2 {
+			t.Fatalf("attempt = %+v", a)
+		}
+	}
+}
+
+func TestBackoffCappedExponentialWithJitter(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5}.withDefaults()
+	rng := rand.New(rand.NewSource(42))
+	prevNominal := time.Duration(0)
+	for retry := 1; retry <= 6; retry++ {
+		nominal := b.Base << uint(retry-1)
+		if nominal > b.Max {
+			nominal = b.Max
+		}
+		w := b.wait(retry, rng)
+		lo, hi := nominal/2, nominal
+		if w < lo || w > hi {
+			t.Fatalf("retry %d: wait %v outside [%v,%v]", retry, w, lo, hi)
+		}
+		if nominal < prevNominal {
+			t.Fatalf("nominal shrank: %v after %v", nominal, prevNominal)
+		}
+		prevNominal = nominal
+	}
+}
+
+func TestBackoffDeterministicBySeed(t *testing.T) {
+	b := Backoff{}.withDefaults()
+	a1 := b.wait(3, rand.New(rand.NewSource(7)))
+	a2 := b.wait(3, rand.New(rand.NewSource(7)))
+	if a1 != a2 {
+		t.Fatalf("same seed, different waits: %v vs %v", a1, a2)
+	}
+}
+
+func TestSuperviseRejectsBadInputs(t *testing.T) {
+	if _, err := Supervise(3, nil, Policy{}); err == nil {
+		t.Error("nil runner accepted")
+	}
+	if _, err := Supervise(-1, func(Plan) Outcome { return Outcome{} }, Policy{}); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+// Accusations naming labels outside the current cube (a Byzantine
+// node can claim anything) are dropped during the logical→physical
+// translation rather than panicking or polluting the history.
+func TestPhysicalSuspectsDropsOutOfRange(t *testing.T) {
+	ranked := []diagnose.Suspect{
+		{Node: 99, DirectVotes: 3},
+		{Node: 1, DirectVotes: 1},
+		{Node: -2, DirectVotes: 1},
+	}
+	got := physicalSuspects(ranked, []int{0, 1, 2, 3})
+	if len(got) != 1 || got[0].Node != 1 {
+		t.Fatalf("physicalSuspects = %+v", got)
+	}
+}

@@ -1,0 +1,145 @@
+package reliablesort
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/blocksort"
+	"repro/internal/fault"
+	"repro/internal/recovery"
+)
+
+// chaosKeys is a fixed 16-key workload: dim 3 → 8 nodes × 2 keys/node,
+// no padding.
+var chaosKeys = []int64{10, 8, 3, 9, 4, 2, 7, 5, 31, -6, 14, 0, 22, -9, 17, 1}
+
+// chaosInjector places one Byzantine processor at the given *physical*
+// fault site. A transient fault manifests only on attempt 0; a
+// persistent one manifests on every attempt for as long as the site is
+// still mapped into the cube — after quarantine the injector finds no
+// logical slot for it and the degraded re-run is clean.
+func chaosInjector(st fault.Strategy, site int, persistent bool) func(attempt, dim int, physical []int) []blocksort.Options {
+	return func(attempt, dim int, physical []int) []blocksort.Options {
+		opts := make([]blocksort.Options, 1<<uint(dim))
+		if !persistent && attempt > 0 {
+			return opts
+		}
+		for l, ph := range physical {
+			if ph == site {
+				spec := fault.Spec{Node: l, Strategy: st, ActivateStage: 1, LieValue: 7777}
+				opts[l] = blocksort.Options{SkipChecks: true, Tamper: spec.Tamper()}
+				break
+			}
+		}
+		return opts
+	}
+}
+
+// TestChaosAutoRecover sweeps every Byzantine strategy × every fault
+// site × transient/persistent on a dim-3 cube and asserts the
+// supervisor's invariant: Sort with AutoRecover either returns a
+// verified-clean result (via retry or quarantine+shrink) or escalates
+// with a structured *recovery.ExhaustedError — it never returns an
+// unverified slice. Persistent faults must be localized: the
+// quarantined node must be the injected fault site.
+func TestChaosAutoRecover(t *testing.T) {
+	want := append([]int64(nil), chaosKeys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	for _, st := range fault.AllStrategies() {
+		for site := 0; site < 8; site++ {
+			for _, persistent := range []bool{false, true} {
+				variant := "transient"
+				if persistent {
+					variant = "persistent"
+				}
+				st, site, persistent := st, site, persistent
+				t.Run(fmt.Sprintf("%v/site%d/%s", st, site, variant), func(t *testing.T) {
+					t.Parallel()
+					out, stats, err := Sort(chaosKeys, Options{
+						Dim:         3,
+						RecvTimeout: 150 * time.Millisecond,
+						AutoRecover: true,
+						MaxAttempts: 6,
+						Sleep:       func(time.Duration) {},
+						Seed:        1,
+						Inject:      chaosInjector(st, site, persistent),
+					})
+					if err != nil {
+						// The only acceptable failure is a structured
+						// escalation carrying the attempt history.
+						var ex *recovery.ExhaustedError
+						if !errors.As(err, &ex) {
+							t.Fatalf("unstructured error: %v", err)
+						}
+						if len(ex.Attempts) == 0 {
+							t.Fatalf("ExhaustedError without history: %v", err)
+						}
+						t.Fatalf("recovery exhausted (history: %d attempts, quarantined %v): %v",
+							len(ex.Attempts), ex.Quarantined, err)
+					}
+					if len(out) != len(want) {
+						t.Fatalf("result length %d, want %d", len(out), len(want))
+					}
+					for i := range want {
+						if out[i] != want[i] {
+							t.Fatalf("result[%d] = %d, want %d (full: %v)", i, out[i], want[i], out)
+						}
+					}
+					rec := stats.Recovery
+					if rec == nil {
+						t.Fatal("AutoRecover success without recovery report")
+					}
+					if persistent {
+						// Recovery must have engaged (attempt 0 faulted)
+						// and localized the culprit.
+						if stats.Attempts < 2 {
+							t.Fatalf("persistent fault cleared in %d attempt(s)?", stats.Attempts)
+						}
+						if len(rec.Quarantined) != 1 || rec.Quarantined[0] != site {
+							t.Fatalf("quarantined %v, want [%d] (attempts: %d)",
+								rec.Quarantined, site, stats.Attempts)
+						}
+						if rec.FinalDim != 2 {
+							t.Fatalf("FinalDim = %d after one quarantine", rec.FinalDim)
+						}
+						if stats.Nodes != 4 || stats.BlockLen != 4 {
+							t.Fatalf("degraded geometry %d×%d, want 4×4", stats.Nodes, stats.BlockLen)
+						}
+					} else {
+						if len(rec.Quarantined) != 0 {
+							t.Fatalf("transient fault quarantined %v", rec.Quarantined)
+						}
+						if stats.Attempts > 2 {
+							t.Fatalf("transient fault took %d attempts", stats.Attempts)
+						}
+					}
+					if stats.Attempts > 1 && rec.WastedCost <= 0 {
+						t.Fatalf("recovery engaged but WastedCost = %d", rec.WastedCost)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosNoFault: the supervisor adds no overhead to clean runs.
+func TestChaosNoFault(t *testing.T) {
+	out, stats, err := Sort(chaosKeys, Options{
+		Dim:         3,
+		AutoRecover: true,
+		Sleep:       func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(out, Options{}) {
+		t.Fatalf("unsorted: %v", out)
+	}
+	if stats.Attempts != 1 || stats.Recovery.WastedCost != 0 || stats.Recovery.TotalBackoff != 0 {
+		t.Fatalf("clean run stats = %+v", stats)
+	}
+}

@@ -5,10 +5,20 @@
 // block sort, verifies the result against the Theorem 1 oracle, and
 // returns a plain sorted slice.
 //
+// With Options.AutoRecover the call additionally closes the paper's
+// detect → act loop: a recovery supervisor (internal/recovery)
+// diagnoses every fail-stop, retries transient faults with capped
+// exponential backoff, quarantines persistently accused nodes onto the
+// next-smaller subcube, and escalates with a structured
+// *recovery.ExhaustedError when the attempt budget is spent. In every
+// case the contract is unchanged: the caller receives a verified
+// result or an error — never an unverified slice.
+//
 // This is the entry point a downstream user who just wants "a sort
 // that can never silently lie" calls; the packages it composes
-// (internal/core, internal/blocksort, internal/simnet) remain
-// available for applications that manage their own distribution.
+// (internal/core, internal/blocksort, internal/simnet,
+// internal/recovery) remain available for applications that manage
+// their own distribution.
 package reliablesort
 
 import (
@@ -21,6 +31,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/hypercube"
+	"repro/internal/recovery"
 	"repro/internal/simnet"
 )
 
@@ -51,7 +62,7 @@ func (e *FaultError) Error() string {
 func (e *FaultError) Unwrap() error { return ErrFaultDetected }
 
 // Options configures a Sort call. The zero value sorts ascending on an
-// automatically sized cube.
+// automatically sized cube and fail-stops on the first detected fault.
 type Options struct {
 	// Descending sorts in non-increasing order.
 	Descending bool
@@ -61,6 +72,38 @@ type Options struct {
 	Dim int
 	// RecvTimeout bounds absence detection; 0 means 30 seconds.
 	RecvTimeout time.Duration
+
+	// AutoRecover turns Sort into a self-healing call: instead of
+	// returning a *FaultError on the first detected fail-stop, the
+	// recovery supervisor diagnoses the ERROR evidence, retries
+	// transient faults with backoff, quarantines persistently accused
+	// nodes (re-running degraded on the next-smaller subcube, with the
+	// host-held input as the reliable checkpoint), and escalates with
+	// a *recovery.ExhaustedError when MaxAttempts is spent.
+	AutoRecover bool
+	// MaxAttempts bounds the total sort attempts under AutoRecover,
+	// quarantined re-runs included; 0 means the supervisor default (4).
+	MaxAttempts int
+	// Backoff shapes the waits between attempts under AutoRecover; the
+	// zero value selects capped exponential backoff with equal jitter
+	// (10ms base, 2s cap, 50% jitter).
+	Backoff recovery.Backoff
+	// MinDim floors the quarantine shrink; 0 means the supervisor
+	// default (1).
+	MinDim int
+	// Seed makes the backoff jitter deterministic; 0 uses a fixed
+	// default seed.
+	Seed int64
+	// Sleep replaces time.Sleep between attempts (tests inject a
+	// no-op); nil sleeps for real.
+	Sleep func(time.Duration)
+	// Inject, when non-nil, supplies per-node fault-injection options
+	// for each attempt — the hook the chaos tests and demos use to
+	// place Byzantine behaviours. physical[l] is the original-cube
+	// label of logical node l, so an injector can follow a "physical"
+	// fault through quarantine remappings. Production callers leave it
+	// nil.
+	Inject func(attempt, dim int, physical []int) []blocksort.Options
 }
 
 // MaxAutoDim caps the automatically chosen cube dimension (64 nodes):
@@ -68,7 +111,9 @@ type Options struct {
 // parallelism returns.
 const MaxAutoDim = 6
 
-// Stats reports what a Sort run cost.
+// Stats reports what a Sort run cost. With AutoRecover the geometry
+// and traffic fields describe the successful attempt; Recovery holds
+// the per-attempt history including the cost of wasted attempts.
 type Stats struct {
 	// Nodes and BlockLen are the chosen geometry (including padding).
 	Nodes    int
@@ -80,13 +125,24 @@ type Stats struct {
 	// Msgs and Bytes are the network traffic totals.
 	Msgs  int64
 	Bytes int64
+	// Attempts is how many sort attempts ran (1 without AutoRecover).
+	Attempts int
+	// Recovery is the supervisor's telemetry when AutoRecover ran:
+	// attempt history, suspects, quarantined nodes, backoff waits, and
+	// the virtual-time cost of wasted attempts. Nil for single-shot
+	// calls and for AutoRecover calls that escalated (the same history
+	// then rides the *recovery.ExhaustedError).
+	Recovery *recovery.Report
 }
 
 // Sort returns a new slice with the elements of keys in the requested
 // order, sorted by the fault-tolerant distributed block bitonic sort
-// and verified end to end. It returns a *FaultError (matching
-// ErrFaultDetected) if any constraint predicate fired — by Theorem 3
-// a single Byzantine processor cannot cause a silently wrong result.
+// and verified end to end. Without AutoRecover it returns a
+// *FaultError (matching ErrFaultDetected) if any constraint predicate
+// fired — by Theorem 3 a single Byzantine processor cannot cause a
+// silently wrong result. With AutoRecover it instead supervises
+// retries and quarantine as described on Options, returning a
+// *recovery.ExhaustedError once the attempt budget is spent.
 func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 	var stats Stats
 	if len(keys) == 0 {
@@ -104,40 +160,114 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		timeout = 30 * time.Second
 	}
 
-	n := 1 << uint(dim)
-	m := (len(keys) + n - 1) / n
-	if m == 0 {
-		m = 1
-	}
-	total := n * m
-	stats.Nodes = n
-	stats.BlockLen = m
-	stats.Padded = total - len(keys)
-
-	// Pad with +inf sentinels so they land at the top of the ascending
-	// order and can be stripped from the tail. For a descending sort
-	// we negate all keys, sort ascending, and negate back, so the
-	// sentinel is +inf in the negated domain as well. Math.MaxInt64
+	// Negate descending inputs so one ascending machine serves both
+	// directions; pad with +inf sentinels that land at the top of the
+	// ascending order and can be stripped from the tail. Math.MaxInt64
 	// inputs are therefore rejected rather than silently confused with
-	// sentinels (MinInt64 likewise for descending).
-	working := make([]int64, 0, total)
+	// sentinels (MinInt64 likewise for descending). base is the
+	// host-held reliable checkpoint every recovery attempt restarts
+	// from.
+	base := make([]int64, 0, len(keys))
 	for _, k := range keys {
 		if opts.Descending {
 			if k == math.MinInt64 {
 				return nil, stats, fmt.Errorf("reliablesort: key %d is reserved for padding in descending sorts", k)
 			}
-			working = append(working, -k)
+			base = append(base, -k)
 		} else {
 			if k == math.MaxInt64 {
 				return nil, stats, fmt.Errorf("reliablesort: key %d is reserved for padding", k)
 			}
-			working = append(working, k)
+			base = append(base, k)
 		}
 	}
+
+	if !opts.AutoRecover {
+		flat, at, _, err := runAttempt(base, dim, timeout, nil)
+		stats.fromAttempt(at)
+		stats.Attempts = 1
+		if err != nil {
+			return nil, stats, err
+		}
+		return finish(flat, len(keys), opts.Descending), stats, nil
+	}
+
+	var result []int64
+	var okStats attemptStats
+	runner := func(p recovery.Plan) recovery.Outcome {
+		var nodeOpts []blocksort.Options
+		if opts.Inject != nil {
+			nodeOpts = opts.Inject(p.Attempt, p.Dim, p.Physical)
+		}
+		flat, at, hostErrs, err := runAttempt(base, p.Dim, timeout, nodeOpts)
+		if err == nil {
+			result = flat
+			okStats = at
+		}
+		return recovery.Outcome{HostErrors: hostErrs, Cost: at.makespan, Err: err}
+	}
+	rep, err := recovery.Supervise(dim, runner, recovery.Policy{
+		MaxAttempts:   opts.MaxAttempts,
+		Backoff:       opts.Backoff,
+		MinDim:        opts.MinDim,
+		Seed:          opts.Seed,
+		Sleep:         opts.Sleep,
+		PersistStreak: 2,
+	})
+	if err != nil {
+		var ex *recovery.ExhaustedError
+		if errors.As(err, &ex) {
+			stats.Attempts = len(ex.Attempts)
+		}
+		return nil, stats, fmt.Errorf("reliablesort: %w", err)
+	}
+	stats.fromAttempt(okStats)
+	stats.Attempts = len(rep.Attempts)
+	stats.Recovery = rep
+	return finish(result, len(keys), opts.Descending), stats, nil
+}
+
+// attemptStats is the geometry and cost of one attempt.
+type attemptStats struct {
+	nodes    int
+	blockLen int
+	padded   int
+	makespan int64
+	msgs     int64
+	bytes    int64
+}
+
+func (s *Stats) fromAttempt(at attemptStats) {
+	s.Nodes = at.nodes
+	s.BlockLen = at.blockLen
+	s.Padded = at.padded
+	s.Makespan = at.makespan
+	s.Msgs = at.msgs
+	s.Bytes = at.bytes
+}
+
+// runAttempt executes one fault-tolerant block sort of base (the
+// negated-and-unpadded checkpoint) on a fresh cube of the given
+// dimension, and post-verifies the output against the Theorem 1
+// oracle. It returns the full padded ascending sequence; err is nil
+// exactly when that sequence is verified.
+func runAttempt(base []int64, dim int, timeout time.Duration, nodeOpts []blocksort.Options) ([]int64, attemptStats, []core.HostError, error) {
+	var at attemptStats
+	n := 1 << uint(dim)
+	m := (len(base) + n - 1) / n
+	if m == 0 {
+		m = 1
+	}
+	total := n * m
+	at.nodes = n
+	at.blockLen = m
+	at.padded = total - len(base)
+
+	working := make([]int64, 0, total)
+	working = append(working, base...)
 	for i := len(working); i < total; i++ {
 		working = append(working, math.MaxInt64)
 	}
-
 	blocks := make([][]int64, n)
 	for i := range blocks {
 		blocks[i] = working[i*m : (i+1)*m : (i+1)*m]
@@ -145,17 +275,17 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 
 	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
 	if err != nil {
-		return nil, stats, fmt.Errorf("reliablesort: %w", err)
+		return nil, at, nil, fmt.Errorf("reliablesort: %w", err)
 	}
-	oc, err := blocksort.RunFT(nw, blocks)
+	oc, err := blocksort.RunFTWithOptions(nw, blocks, nodeOpts)
 	if err != nil {
-		return nil, stats, fmt.Errorf("reliablesort: %w", err)
+		return nil, at, nil, fmt.Errorf("reliablesort: %w", err)
 	}
-	stats.Makespan = int64(oc.Result.Makespan())
-	stats.Msgs = oc.Result.Metrics.TotalMsgs()
-	stats.Bytes = oc.Result.Metrics.TotalBytes()
+	at.makespan = int64(oc.Result.Makespan())
+	at.msgs = oc.Result.Metrics.TotalMsgs()
+	at.bytes = oc.Result.Metrics.TotalBytes()
 	if oc.Detected() {
-		return nil, stats, &FaultError{HostErrors: oc.HostErrors, NodeErr: oc.Result.FirstNodeErr()}
+		return nil, at, oc.HostErrors, &FaultError{HostErrors: oc.HostErrors, NodeErr: oc.Result.FirstNodeErr()}
 	}
 
 	flat := make([]int64, 0, total)
@@ -166,18 +296,24 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 	// run; re-verify locally against the Theorem 1 oracle so the
 	// library's contract does not rest on a single mechanism.
 	if err := checker.Verify(working, flat, true); err != nil {
-		return nil, stats, fmt.Errorf("reliablesort: post-verification: %w", err)
+		return nil, at, oc.HostErrors, fmt.Errorf("reliablesort: post-verification: %w", err)
 	}
-	flat = flat[:len(keys)] // strip sentinels from the tail
+	return flat, at, oc.HostErrors, nil
+}
+
+// finish strips the padding sentinels from the tail of the verified
+// ascending sequence and undoes the descending negation.
+func finish(flat []int64, keep int, descending bool) []int64 {
+	flat = flat[:keep]
 	out := make([]int64, len(flat))
 	for i, v := range flat {
-		if opts.Descending {
+		if descending {
 			out[i] = -v
 		} else {
 			out[i] = v
 		}
 	}
-	return out, stats, nil
+	return out
 }
 
 // autoDim picks the smallest dimension whose cube keeps blocks at or

@@ -55,7 +55,9 @@ func DefaultCostModel() CostModel { return transport.DefaultCostModel() }
 // ErrAbsent is returned by Recv when no message arrives within the
 // configured timeout. Per environmental assumption 4, absence of an
 // expected message is itself an error the application must surface.
-var ErrAbsent = errors.New("simnet: expected message absent (timeout)")
+// It wraps transport.ErrAbsent so callers can classify timeouts
+// without knowing which network implementation ran.
+var ErrAbsent = fmt.Errorf("simnet: expected message absent: %w", transport.ErrAbsent)
 
 // ErrLinkBackpressure is returned when a link queue is full. The
 // protocols in this repository exchange at most a handful of messages

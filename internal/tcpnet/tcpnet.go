@@ -38,8 +38,9 @@ var (
 )
 
 // ErrAbsent mirrors simnet.ErrAbsent: an expected message did not
-// arrive within the timeout.
-var ErrAbsent = errors.New("tcpnet: expected message absent (timeout)")
+// arrive within the timeout. It wraps transport.ErrAbsent so callers
+// can classify timeouts independently of the network implementation.
+var ErrAbsent = fmt.Errorf("tcpnet: expected message absent: %w", transport.ErrAbsent)
 
 // ErrClosed is returned when the network has been shut down.
 var ErrClosed = errors.New("tcpnet: network closed")

@@ -18,9 +18,18 @@
 package transport
 
 import (
+	"errors"
+
 	"repro/internal/hypercube"
 	"repro/internal/wire"
 )
+
+// ErrAbsent is the transport-independent absence sentinel: Recv gave up
+// waiting for a message that never arrived. Environmental assumption 4
+// makes absence detectable, and both network implementations wrap this
+// sentinel in their timeout errors so protocol code can classify the
+// evidence with errors.Is instead of parsing error text.
+var ErrAbsent = errors.New("transport: expected message absent (timeout)")
 
 // Ticks is a quantity of virtual time.
 type Ticks int64

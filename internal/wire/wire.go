@@ -160,6 +160,15 @@ type reader struct {
 	off int
 }
 
+func (r *reader) u8() (uint8, error) {
+	if r.off+1 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
 func (r *reader) u32() (uint32, error) {
 	if r.off+4 > len(r.buf) {
 		return 0, ErrTruncated
@@ -432,10 +441,15 @@ func DecodeHost(buf []byte) (HostPayload, error) {
 }
 
 // ErrorPayload is the body of a node's ERROR signal to the host: which
-// constraint predicate failed, whom the evidence implicates, and a
-// short description.
+// constraint predicate failed, what kind of evidence fired it, whom
+// the evidence implicates, and a short description.
 type ErrorPayload struct {
 	Predicate string // "progress", "feasibility", "consistency", "protocol"
+	// Kind is the structured evidence class (core.ErrorKind: value,
+	// absence, or shape), carried as a raw byte so the wire layer stays
+	// free of higher-layer imports. Diagnosis keys off this field;
+	// Detail is for humans only.
+	Kind uint8
 	// Accused is the node the evidence implicates, -1 when none.
 	Accused int32
 	Detail  string
@@ -445,6 +459,7 @@ type ErrorPayload struct {
 func EncodeError(p ErrorPayload) []byte {
 	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(p.Predicate)))
 	buf = append(buf, p.Predicate...)
+	buf = append(buf, p.Kind)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Accused))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Detail)))
 	buf = append(buf, p.Detail...)
@@ -455,6 +470,10 @@ func EncodeError(p ErrorPayload) []byte {
 func DecodeError(buf []byte) (ErrorPayload, error) {
 	r := &reader{buf: buf}
 	pred, err := r.str()
+	if err != nil {
+		return ErrorPayload{}, err
+	}
+	kind, err := r.u8()
 	if err != nil {
 		return ErrorPayload{}, err
 	}
@@ -469,7 +488,7 @@ func DecodeError(buf []byte) (ErrorPayload, error) {
 	if err := r.done(); err != nil {
 		return ErrorPayload{}, err
 	}
-	return ErrorPayload{Predicate: pred, Accused: int32(acc), Detail: det}, nil
+	return ErrorPayload{Predicate: pred, Kind: kind, Accused: int32(acc), Detail: det}, nil
 }
 
 func (r *reader) str() (string, error) {

@@ -256,7 +256,7 @@ func TestHostRoundTrip(t *testing.T) {
 }
 
 func TestErrorPayloadRoundTrip(t *testing.T) {
-	p := ErrorPayload{Predicate: "consistency", Detail: "slot 3 mismatch: 10 vs 12"}
+	p := ErrorPayload{Predicate: "consistency", Kind: 1, Accused: 5, Detail: "slot 3 mismatch: 10 vs 12"}
 	got, err := DecodeError(EncodeError(p))
 	if err != nil {
 		t.Fatal(err)
