@@ -1,0 +1,209 @@
+// Command benchjson runs the paper's measurement suite under the Go
+// benchmark harness and emits a machine-readable JSON report: for each
+// point the wall-clock ns/op and allocs/op (simulator performance)
+// plus the paper-facing virtual-tick series (vticks, vcomm, vcomp,
+// msgs, wirebytes), which is what the figures plot.
+//
+// The two acceptance points carry embedded pre-optimization baselines
+// (medians of three 30-iteration runs on the reference machine) so the
+// report doubles as a before/after record:
+//
+//	go run ./cmd/benchjson -o BENCH_PR2.json
+//
+// See EXPERIMENTS.md ("Performance methodology") for how to read the
+// output and why the virtual-tick columns must never change under a
+// performance PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Point is one benchmark result row.
+type Point struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Iters       int    `json:"iters"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+
+	// Paper-facing virtual-time series: identical across performance
+	// changes by construction (byte-identical wire encodings).
+	VTicks    int64 `json:"vticks"`
+	VComm     int64 `json:"vcomm"`
+	VComp     int64 `json:"vcomp"`
+	Msgs      int64 `json:"msgs"`
+	WireBytes int64 `json:"wirebytes"`
+}
+
+// Acceptance is a before/after comparison against an embedded
+// pre-optimization baseline.
+type Acceptance struct {
+	Name              string  `json:"name"`
+	BaselineNsPerOp   int64   `json:"baseline_ns_per_op"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	ImprovementPct    float64 `json:"improvement_pct"`
+	BaselineAllocsOp  int64   `json:"baseline_allocs_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+}
+
+// Report is the full output document.
+type Report struct {
+	Suite      string       `json:"suite"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Seed       int64        `json:"seed"`
+	Points     []Point      `json:"points"`
+	Acceptance []Acceptance `json:"acceptance"`
+}
+
+const benchSeed = 1989
+
+// baseline holds the pre-optimization numbers for the acceptance
+// points: medians of three 30-iteration runs before the
+// zero-allocation message path landed (same machine class, Linux
+// amd64). They are embedded so the report is self-contained.
+var baseline = map[string]struct {
+	nsPerOp  int64
+	allocsOp int64
+}{
+	"Fig6_SFT/N=32":         {nsPerOp: 2459396, allocsOp: 16345},
+	"Fig8_BlockFT/N=16/m=64": {nsPerOp: 4684690, allocsOp: 8727},
+}
+
+// suite enumerates the measured points: the Figure 6 series (one key
+// per node) and the Figure 8 block series (m = 64 keys per node).
+type benchCase struct {
+	name string
+	n    int
+	m    int
+	run  func() (experiments.Measurement, error)
+}
+
+func suite() []benchCase {
+	var cases []benchCase
+	for _, dim := range []int{2, 3, 4, 5} {
+		d := dim
+		n := 1 << uint(d)
+		cases = append(cases,
+			benchCase{fmt.Sprintf("Fig6_SNR/N=%d", n), n, 1, func() (experiments.Measurement, error) {
+				return experiments.MeasureSNR(d, benchSeed)
+			}},
+			benchCase{fmt.Sprintf("Fig6_SFT/N=%d", n), n, 1, func() (experiments.Measurement, error) {
+				return experiments.MeasureSFT(d, benchSeed)
+			}},
+			benchCase{fmt.Sprintf("Fig6_HostSort/N=%d", n), n, 1, func() (experiments.Measurement, error) {
+				return experiments.MeasureHostSort(d, benchSeed)
+			}},
+		)
+	}
+	for _, dim := range []int{2, 3, 4} {
+		d := dim
+		n := 1 << uint(d)
+		cases = append(cases,
+			benchCase{fmt.Sprintf("Fig8_BlockNR/N=%d/m=64", n), n, 64, func() (experiments.Measurement, error) {
+				return experiments.MeasureBlockNR(d, 64, benchSeed)
+			}},
+			benchCase{fmt.Sprintf("Fig8_BlockFT/N=%d/m=64", n), n, 64, func() (experiments.Measurement, error) {
+				return experiments.MeasureBlockFT(d, 64, benchSeed)
+			}},
+			benchCase{fmt.Sprintf("Fig8_HostBlocks/N=%d/m=64", n), n, 64, func() (experiments.Measurement, error) {
+				return experiments.MeasureHostSortBlocks(d, 64, benchSeed)
+			}},
+		)
+	}
+	return cases
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	rep := Report{
+		Suite:     "reliable-distributed-sorting paper benchmarks",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      benchSeed,
+	}
+	for _, c := range suite() {
+		var last experiments.Measurement
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := c.run()
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				last = m
+			}
+		})
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", c.name, runErr)
+			os.Exit(1)
+		}
+		p := Point{
+			Name:        c.name,
+			N:           c.n,
+			M:           c.m,
+			Iters:       r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			VTicks:      int64(last.Makespan),
+			VComm:       int64(last.Comm),
+			VComp:       int64(last.Comp),
+			Msgs:        last.Msgs,
+			WireBytes:   last.Bytes,
+		}
+		rep.Points = append(rep.Points, p)
+		if base, ok := baseline[c.name]; ok {
+			rep.Acceptance = append(rep.Acceptance, Acceptance{
+				Name:              c.name,
+				BaselineNsPerOp:   base.nsPerOp,
+				NsPerOp:           p.NsPerOp,
+				ImprovementPct:    pctDrop(base.nsPerOp, p.NsPerOp),
+				BaselineAllocsOp:  base.allocsOp,
+				AllocsPerOp:       p.AllocsPerOp,
+				AllocReductionPct: pctDrop(base.allocsOp, p.AllocsPerOp),
+			})
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %9d ns/op %7d allocs/op %10d vticks\n",
+			c.name, p.NsPerOp, p.AllocsPerOp, p.VTicks)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// pctDrop returns how much lower now is than base, in percent.
+func pctDrop(base, now int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-now) / float64(base)
+}

@@ -154,11 +154,24 @@ func bsort(xs []int64, ascending bool) int {
 // m elements (sorted ascending) and the largest m elements (sorted
 // ascending), plus the comparison count of the linear merge.
 func MergeSplit(a, b []int64) (lo, hi []int64, compares int, err error) {
+	return MergeSplitInto(nil, a, b)
+}
+
+// MergeSplitInto is MergeSplit merging into a caller-owned scratch
+// buffer (grown as needed), so steady-state block exchanges allocate
+// nothing. The returned lo and hi alias the scratch; dst must not
+// overlap a or b.
+func MergeSplitInto(dst []int64, a, b []int64) (lo, hi []int64, compares int, err error) {
 	if len(a) != len(b) {
 		return nil, nil, 0, fmt.Errorf("bitonic: merge-split blocks differ in length: %d vs %d", len(a), len(b))
 	}
 	m := len(a)
-	merged := make([]int64, 0, 2*m)
+	var merged []int64
+	if cap(dst) < 2*m {
+		merged = make([]int64, 0, 2*m)
+	} else {
+		merged = dst[:0]
+	}
 	i, j := 0, 0
 	for i < m && j < m {
 		compares++

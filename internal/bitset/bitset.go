@@ -139,6 +139,22 @@ func (s Set) SubsetOf(o Set) bool {
 	return true
 }
 
+// Each calls fn for every set bit position in ascending order,
+// stopping early when fn returns false. Unlike Indices it performs no
+// allocation, so hot merge/validation paths can iterate views without
+// per-call garbage.
+func (s Set) Each(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Indices returns the set bit positions in ascending order.
 func (s Set) Indices() []int {
 	out := make([]int, 0, s.Count())
@@ -174,6 +190,60 @@ func (s Set) Words() []uint64 {
 	w := make([]uint64, len(s.words))
 	copy(w, s.words)
 	return w
+}
+
+// WordCount returns the number of underlying machine words.
+func (s Set) WordCount() int { return len(s.words) }
+
+// Word returns the i-th underlying word (LSB-first). Together with
+// WordCount it lets the wire codec marshal a mask without the copy
+// Words makes.
+func (s Set) Word(i int) uint64 { return s.words[i] }
+
+// Reset reinitializes s in place to an empty set of length n, reusing
+// the word storage when capacity allows. It panics on negative n, like
+// New.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	want := (n + wordBits - 1) / wordBits
+	if cap(s.words) < want {
+		s.words = make([]uint64, want)
+	} else {
+		s.words = s.words[:want]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// LoadWords reinitializes s in place from a word array produced by
+// Words, reusing storage when capacity allows. Validation matches
+// FromWords: the word count must fit n exactly and no bits beyond n may
+// be set. On error s is left unchanged.
+func (s *Set) LoadWords(n int, words []uint64) error {
+	if n < 0 {
+		return fmt.Errorf("bitset: negative length %d", n)
+	}
+	want := (n + wordBits - 1) / wordBits
+	if len(words) != want {
+		return fmt.Errorf("bitset: %d words for length %d, want %d", len(words), n, want)
+	}
+	if rem := n % wordBits; rem != 0 && len(words) > 0 {
+		if words[len(words)-1]>>uint(rem) != 0 {
+			return fmt.Errorf("bitset: bits set beyond length %d", n)
+		}
+	}
+	if cap(s.words) < want {
+		s.words = make([]uint64, want)
+	} else {
+		s.words = s.words[:want]
+	}
+	copy(s.words, words)
+	s.n = n
+	return nil
 }
 
 // FromWords reconstructs a set of length n from a word array produced

@@ -143,10 +143,11 @@ func nodeProgramNR(block []int64, out *[]int64) node.Program {
 		if err := localSort(ep, mine); err != nil {
 			return err
 		}
+		r := &nrRunner{ep: ep, m: len(mine)}
 		for i := 0; i < n; i++ {
 			for j := i; j >= 0; j-- {
 				var err error
-				mine, err = exchangeNR(ep, mine, i, j)
+				mine, err = r.exchange(mine, i, j)
 				if err != nil {
 					return fmt.Errorf("blocksort: node %d stage %d iter %d: %w", id, i, j, err)
 				}
@@ -157,65 +158,89 @@ func nodeProgramNR(block []int64, out *[]int64) node.Program {
 	}
 }
 
-func exchangeNR(ep transport.Endpoint, mine []int64, i, j int) ([]int64, error) {
-	id := ep.ID()
-	ascending := ep.Topology().Ascending(i, id)
+// nrRunner holds the per-node arenas of the unreliable block sort:
+// encode scratch, zero-copy decode scratch, and the two alternating
+// merge-split buffers (output always goes to the buffer not holding
+// the node's current block). Steady-state exchanges allocate nothing.
+type nrRunner struct {
+	ep   transport.Endpoint
+	m    int
+	enc  []byte
+	dec  wire.DecodeScratch
+	bufs [2][]int64
+	cur  int
+}
+
+func (r *nrRunner) nextBuf() []int64 {
+	i := 1 - r.cur
+	if cap(r.bufs[i]) < 2*r.m {
+		r.bufs[i] = make([]int64, 0, 2*r.m)
+	}
+	r.cur = i
+	return r.bufs[i][:0]
+}
+
+func (r *nrRunner) sendKeys(bit, stage, iter int, keys []int64) error {
+	r.enc = wire.AppendExchange(r.enc[:0], keys)
+	return r.ep.Send(bit, wire.Message{
+		Kind:    wire.KindExchange,
+		Stage:   int32(stage),
+		Iter:    int32(iter),
+		Payload: r.enc,
+	})
+}
+
+func (r *nrRunner) exchange(mine []int64, i, j int) ([]int64, error) {
+	id := r.ep.ID()
+	ascending := r.ep.Topology().Ascending(i, id)
 
 	if hypercube.Active(id, j) {
-		got, err := ep.Recv(j)
+		got, err := r.ep.Recv(j)
 		if err != nil {
 			return nil, err
 		}
-		p, err := wire.DecodeExchange(got.Payload)
+		p, err := wire.DecodeExchangeInto(&r.dec, got.Payload)
 		if err != nil {
 			return nil, err
 		}
 		if len(p.Keys) != len(mine) {
 			return nil, fmt.Errorf("partner block %d keys, want %d", len(p.Keys), len(mine))
 		}
-		lo, hi, compares, err := bitonic.MergeSplit(mine, p.Keys)
+		lo, hi, compares, err := bitonic.MergeSplitInto(r.nextBuf(), mine, p.Keys)
 		if err != nil {
 			return nil, err
 		}
-		ep.ChargeCompare(compares)
-		ep.ChargeKeyMove(2 * len(mine))
+		r.ep.ChargeCompare(compares)
+		r.ep.ChargeKeyMove(2 * len(mine))
 		keep, give := lo, hi
 		if !ascending {
 			keep, give = hi, lo
 		}
-		reply := wire.Message{
-			Kind:    wire.KindExchange,
-			Stage:   int32(i),
-			Iter:    int32(j),
-			Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: give}),
-		}
-		if err := ep.Send(j, reply); err != nil {
+		if err := r.sendKeys(j, i, j, give); err != nil {
 			return nil, err
 		}
 		return keep, nil
 	}
 
-	msg := wire.Message{
-		Kind:    wire.KindExchange,
-		Stage:   int32(i),
-		Iter:    int32(j),
-		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: mine}),
-	}
-	if err := ep.Send(j, msg); err != nil {
+	if err := r.sendKeys(j, i, j, mine); err != nil {
 		return nil, err
 	}
-	got, err := ep.Recv(j)
+	got, err := r.ep.Recv(j)
 	if err != nil {
 		return nil, err
 	}
-	p, err := wire.DecodeExchange(got.Payload)
+	p, err := wire.DecodeExchangeInto(&r.dec, got.Payload)
 	if err != nil {
 		return nil, err
 	}
 	if len(p.Keys) != len(mine) {
 		return nil, fmt.Errorf("returned block %d keys, want %d", len(p.Keys), len(mine))
 	}
-	return p.Keys, nil
+	// The returned block aliases the decode scratch; copy it into the
+	// buffer not holding mine before the next receive clobbers it.
+	adopted := r.nextBuf()[:len(mine)]
+	copy(adopted, p.Keys)
+	return adopted, nil
 }
 
 func drainHostErrors(nw transport.Network) []core.HostError {

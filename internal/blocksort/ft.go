@@ -15,27 +15,48 @@ import (
 
 // blockView is the block-sorting analogue of the core package's
 // gathered LBS: one sorted block per subcube slot plus the knowledge
-// mask.
+// mask. Blocks are slices into one flat arena (data) so a view reset
+// between stages reuses storage instead of reallocating per slot.
 type blockView struct {
 	sc     hypercube.Subcube
 	m      int
 	have   bitset.Set
+	data   []int64
 	blocks [][]int64
 }
 
 func newBlockView(sc hypercube.Subcube, m int) *blockView {
-	return &blockView{
-		sc:     sc,
-		m:      m,
-		have:   bitset.New(sc.Size()),
-		blocks: make([][]int64, sc.Size()),
+	g := &blockView{}
+	g.reset(sc, m)
+	return g
+}
+
+// reset reinitializes the view for a new subcube, reusing the arena.
+// Slot contents are left stale; the knowledge mask gates every read.
+func (g *blockView) reset(sc hypercube.Subcube, m int) {
+	g.sc = sc
+	g.m = m
+	g.have.Reset(sc.Size())
+	need := sc.Size() * m
+	if cap(g.data) < need {
+		g.data = make([]int64, need)
+	} else {
+		g.data = g.data[:need]
+	}
+	if cap(g.blocks) < sc.Size() {
+		g.blocks = make([][]int64, sc.Size())
+	} else {
+		g.blocks = g.blocks[:sc.Size()]
+	}
+	for i := 0; i < sc.Size(); i++ {
+		g.blocks[i] = g.data[i*m : (i+1)*m : (i+1)*m]
 	}
 }
 
 func (g *blockView) set(nodeLabel int, b []int64) {
 	idx := nodeLabel - g.sc.Start
 	g.have.Add(idx)
-	g.blocks[idx] = append([]int64{}, b...)
+	copy(g.blocks[idx], b)
 }
 
 func (g *blockView) complete() bool { return g.have.Full() }
@@ -43,11 +64,16 @@ func (g *blockView) complete() bool { return g.have.Full() }
 // flatten concatenates the blocks of the slot range [lo, hi) in slot
 // order; valid only when those slots are known.
 func (g *blockView) flatten(lo, hi int) []int64 {
-	out := make([]int64, 0, (hi-lo)*g.m)
+	return g.flattenInto(nil, lo, hi)
+}
+
+// flattenInto is flatten appending into a caller-owned scratch
+// (normally dst[:0] of a reused buffer).
+func (g *blockView) flattenInto(dst []int64, lo, hi int) []int64 {
 	for i := lo; i < hi; i++ {
-		out = append(out, g.blocks[i]...)
+		dst = append(dst, g.blocks[i]...)
 	}
-	return out
+	return dst
 }
 
 // flattenReversed concatenates blocks in reverse slot order (each
@@ -61,15 +87,24 @@ func (g *blockView) flattenReversed(lo, hi int) []int64 {
 }
 
 func (g *blockView) wireView() wire.View {
-	vals := make([]int64, 0, g.have.Count()*g.m)
-	for _, idx := range g.have.Indices() {
+	return g.wireViewInto(nil)
+}
+
+// wireViewInto is wireView with a caller-owned Vals scratch. The
+// result's Mask shares the working view's storage and its Vals share
+// the scratch, so it must be encoded before either changes — which
+// every send path does immediately.
+func (g *blockView) wireViewInto(scratch []int64) wire.View {
+	vals := scratch[:0]
+	g.have.Each(func(idx int) bool {
 		vals = append(vals, g.blocks[idx]...)
-	}
+		return true
+	})
 	return wire.View{
 		Base:     int32(g.sc.Start),
 		Size:     int32(g.sc.Size()),
 		BlockLen: int32(g.m),
-		Mask:     g.have.Clone(),
+		Mask:     g.have,
 		Vals:     vals,
 	}
 }
@@ -88,21 +123,26 @@ func (g *blockView) mergeChecked(rv wire.View, expected bitset.Set) error {
 	if !rv.Mask.Equal(expected) {
 		return fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
 	}
-	for i, idx := range rv.Mask.Indices() {
+	var conflict error
+	i := 0
+	rv.Mask.Each(func(idx int) bool {
 		b := rv.Block(i)
+		i++
 		if g.have.Has(idx) {
 			for k := range b {
 				if g.blocks[idx][k] != b[k] {
-					return fmt.Errorf("slot %d (node %d) key %d: held copy %d disagrees with relayed copy %d",
+					conflict = fmt.Errorf("slot %d (node %d) key %d: held copy %d disagrees with relayed copy %d",
 						idx, g.sc.Start+idx, k, g.blocks[idx][k], b[k])
+					return false
 				}
 			}
-			continue
+			return true
 		}
 		g.have.Add(idx)
-		g.blocks[idx] = append([]int64{}, b...)
-	}
-	return nil
+		copy(g.blocks[idx], b)
+		return true
+	})
+	return conflict
 }
 
 func (g *blockView) mergeLenient(rv wire.View) {
@@ -110,12 +150,16 @@ func (g *blockView) mergeLenient(rv wire.View) {
 		int(rv.Size) != g.sc.Size() || int(rv.BlockLen) != g.m {
 		return
 	}
-	for i, idx := range rv.Mask.Indices() {
+	i := 0
+	rv.Mask.Each(func(idx int) bool {
+		b := rv.Block(i)
+		i++
 		if !g.have.Has(idx) {
 			g.have.Add(idx)
-			g.blocks[idx] = append([]int64{}, rv.Block(i)...)
+			copy(g.blocks[idx], b)
 		}
-	}
+		return true
+	})
 }
 
 // ProgressBlocks is Φ_P scaled by m: each block must be internally
@@ -178,6 +222,45 @@ type ftRunner struct {
 	ep   transport.Endpoint
 	opts Options
 	m    int
+
+	// Per-node arenas reused across every stage and iteration: payload
+	// encoding scratch, zero-copy decode scratch, the block view, the
+	// wire-view Vals staging area, the keep·give send staging buffer,
+	// the two alternating merge-split buffers, the merge-split
+	// verification scratch, the flatten scratches, and the vect_mask
+	// prediction scratch.
+	enc      []byte
+	dec      wire.DecodeScratch
+	view     blockView
+	wvVals   []int64
+	keyStage []int64
+	bufs     [2][]int64
+	cur      int
+	msCheck  []int64
+	halfBuf  []int64
+	prevBuf  []int64
+	expect   bitset.Set
+}
+
+// nextBuf flips to the merge-split buffer NOT holding the node's
+// current block and returns it (cap 2m, length 0). Alternating between
+// two buffers lets MergeSplitInto write its output while reading the
+// current block from the other.
+func (r *ftRunner) nextBuf() []int64 {
+	i := 1 - r.cur
+	if cap(r.bufs[i]) < 2*r.m {
+		r.bufs[i] = make([]int64, 0, 2*r.m)
+	}
+	r.cur = i
+	return r.bufs[i][:0]
+}
+
+// ensureCap returns s emptied, reallocated if its capacity is below n.
+func ensureCap(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, 0, n)
+	}
+	return s[:0]
 }
 
 // fail constructs the node's predicate error with no specific accused
@@ -239,7 +322,8 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("blocksort: %w", err)
 		}
-		view := newBlockView(sc, r.m)
+		view := &r.view
+		view.reset(sc, r.m)
 		view.set(id, mine)
 		for j := s; j >= 0; j-- {
 			mine, err = r.exchange(view, mine, s, j)
@@ -252,20 +336,23 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 				"stage gather incomplete: mask %s", view.have.String())
 		}
 		if s > 0 && !r.opts.SkipChecks {
-			assembled := make([][]int64, sc.Size())
-			copy(assembled, view.blocks)
+			// ProgressBlocks only reads, so the view's slots are passed
+			// directly rather than defensively copied.
 			r.ep.ChargeCompare(sc.Size() * r.m)
-			if err := ProgressBlocks(assembled, false); err != nil {
+			if err := ProgressBlocks(view.blocks, false); err != nil {
 				return nil, r.fail(core.ErrProgress, s, -1, "%v", err)
 			}
 			lo := prevSC.Start - sc.Start
-			myHalf := view.flatten(lo, lo+prevSC.Size())
+			r.halfBuf = view.flattenInto(r.halfBuf[:0], lo, lo+prevSC.Size())
 			r.ep.ChargeCompare(2 * len(prevFlat))
-			if err := core.Feasibility(prevFlat, myHalf); err != nil {
+			if err := core.Feasibility(prevFlat, r.halfBuf); err != nil {
 				return nil, r.fail(core.ErrFeasibility, s, -1, "%v", err)
 			}
 		}
-		prevFlat = view.flatten(0, sc.Size())
+		// prevFlat from the previous stage has been consumed above, so
+		// its buffer can be overwritten with this stage's sequence.
+		r.prevBuf = view.flattenInto(r.prevBuf[:0], 0, sc.Size())
+		prevFlat = r.prevBuf
 		r.ep.ChargeKeyMove(len(prevFlat))
 		prevSC = sc
 	}
@@ -275,7 +362,8 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blocksort: %w", err)
 	}
-	view := newBlockView(scAll, r.m)
+	view := &r.view
+	view.reset(scAll, r.m)
 	view.set(id, mine)
 	for j := n - 1; j >= 0; j-- {
 		if err := r.verifyExchange(view, n-1, j); err != nil {
@@ -287,14 +375,13 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 			"final gather incomplete: mask %s", view.have.String())
 	}
 	if !r.opts.SkipChecks {
-		finalBlocks := make([][]int64, scAll.Size())
-		copy(finalBlocks, view.blocks)
 		r.ep.ChargeCompare(scAll.Size() * r.m)
-		if err := ProgressBlocks(finalBlocks, true); err != nil {
+		if err := ProgressBlocks(view.blocks, true); err != nil {
 			return nil, r.fail(core.ErrProgress, n, -1, "%v", err)
 		}
+		r.halfBuf = view.flattenInto(r.halfBuf[:0], 0, scAll.Size())
 		r.ep.ChargeCompare(2 * len(prevFlat))
-		if err := core.Feasibility(prevFlat, view.flatten(0, scAll.Size())); err != nil {
+		if err := core.Feasibility(prevFlat, r.halfBuf); err != nil {
 			return nil, r.fail(core.ErrFeasibility, n, -1, "%v", err)
 		}
 	}
@@ -317,7 +404,7 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		}
 		theirs := mine // degenerate fallback for SkipChecks nodes
 		if ok {
-			p, derr := wire.DecodeFTExchange(m.Payload)
+			p, derr := wire.DecodeFTExchangeInto(&r.dec, m.Payload)
 			switch {
 			case derr != nil && r.opts.SkipChecks:
 			case derr != nil:
@@ -346,7 +433,9 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 				}
 			}
 		}
-		lo, hi, compares, merr := bitonic.MergeSplit(mine, theirs)
+		// Merge into the buffer not holding mine; theirs may still
+		// alias the decode scratch, which MergeSplitInto only reads.
+		lo, hi, compares, merr := bitonic.MergeSplitInto(r.nextBuf(), mine, theirs)
 		if merr != nil {
 			return nil, fmt.Errorf("blocksort: %w", merr)
 		}
@@ -356,25 +445,27 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		if !ascending {
 			keep, give = hi, lo
 		}
-		keys := make([]int64, 0, 2*r.m)
-		keys = append(keys, keep...)
-		keys = append(keys, give...)
-		if err := r.send(j, wire.Message{
+		r.keyStage = append(append(ensureCap(r.keyStage, 2*r.m), keep...), give...)
+		v := view.wireViewInto(r.wvVals)
+		r.wvVals = v.Vals
+		if err := r.sendFT(j, wire.Message{
 			Kind:  wire.KindFTExchange,
 			Stage: int32(s),
 			Iter:  int32(j),
-		}, wire.FTExchangePayload{Keys: keys, View: view.wireView()}); err != nil {
+		}, wire.FTExchangePayload{Keys: r.keyStage, View: v}); err != nil {
 			return nil, err
 		}
 		return keep, nil
 	}
 
 	// Passive side.
-	if err := r.send(j, wire.Message{
+	v := view.wireViewInto(r.wvVals)
+	r.wvVals = v.Vals
+	if err := r.sendFT(j, wire.Message{
 		Kind:  wire.KindFTExchange,
 		Stage: int32(s),
 		Iter:  int32(j),
-	}, wire.FTExchangePayload{Keys: mine, View: view.wireView()}); err != nil {
+	}, wire.FTExchangePayload{Keys: mine, View: v}); err != nil {
 		return nil, err
 	}
 	m, ok, err := r.recvChecked(j, wire.KindFTExchange, s, j, partner)
@@ -384,7 +475,7 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 	if !ok {
 		return mine, nil
 	}
-	p, derr := wire.DecodeFTExchange(m.Payload)
+	p, derr := wire.DecodeFTExchangeInto(&r.dec, m.Payload)
 	if derr != nil {
 		if r.opts.SkipChecks {
 			return mine, nil
@@ -418,7 +509,8 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		// merge-split is verifiable.
 		if j == s {
 			if idx := partner - view.sc.Start; view.have.Has(idx) {
-				wantLo, wantHi, _, merr := bitonic.MergeSplit(mine, view.blocks[idx])
+				r.msCheck = ensureCap(r.msCheck, 2*r.m)
+				wantLo, wantHi, _, merr := bitonic.MergeSplitInto(r.msCheck, mine, view.blocks[idx])
 				if merr == nil {
 					wantKeep, wantGive := wantLo, wantHi
 					if !ascending {
@@ -432,7 +524,11 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 			}
 		}
 	}
-	return give, nil
+	// give aliases the decode scratch, which the next receive will
+	// clobber; copy it into the buffer not holding mine.
+	adopted := r.nextBuf()[:r.m]
+	copy(adopted, give)
+	return adopted, nil
 }
 
 func equalKeys(a, b []int64) bool {
@@ -461,7 +557,7 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 			return err
 		}
 		if ok {
-			p, derr := wire.DecodeVerify(m.Payload)
+			p, derr := wire.DecodeVerifyInto(&r.dec, m.Payload)
 			if derr != nil && !r.opts.SkipChecks {
 				return r.failFrom(core.ErrProtocol, stageLabel, j, partner, "undecodable verify from %d: %v", partner, derr)
 			}
@@ -471,18 +567,22 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 				}
 			}
 		}
-		return r.send(j, wire.Message{
+		v := view.wireViewInto(r.wvVals)
+		r.wvVals = v.Vals
+		return r.sendVerify(j, wire.Message{
 			Kind:  wire.KindVerify,
 			Stage: int32(stageLabel),
 			Iter:  int32(j),
-		}, wire.VerifyPayload{View: view.wireView()})
+		}, wire.VerifyPayload{View: v})
 	}
 
-	if err := r.send(j, wire.Message{
+	v := view.wireViewInto(r.wvVals)
+	r.wvVals = v.Vals
+	if err := r.sendVerify(j, wire.Message{
 		Kind:  wire.KindVerify,
 		Stage: int32(stageLabel),
 		Iter:  int32(j),
-	}, wire.VerifyPayload{View: view.wireView()}); err != nil {
+	}, wire.VerifyPayload{View: v}); err != nil {
 		return err
 	}
 	m, ok, err := r.recvChecked(j, wire.KindVerify, stageLabel, j, partner)
@@ -492,7 +592,7 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 	if !ok {
 		return nil
 	}
-	p, derr := wire.DecodeVerify(m.Payload)
+	p, derr := wire.DecodeVerifyInto(&r.dec, m.Payload)
 	if derr != nil {
 		if r.opts.SkipChecks {
 			return nil
@@ -511,9 +611,9 @@ func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, po
 	var expected bitset.Set
 	var err error
 	if postExchange {
-		expected, err = core.VectMask(s, j, sender, view.sc)
+		expected, err = core.VectMaskInto(&r.expect, s, j, sender, view.sc)
 	} else {
-		expected, err = core.VectMaskBefore(s, j, sender, view.sc)
+		expected, err = core.VectMaskBeforeInto(&r.expect, s, j, sender, view.sc)
 	}
 	if err != nil {
 		return fmt.Errorf("blocksort: %w", err)
@@ -547,33 +647,58 @@ func (r *ftRunner) recvChecked(bit int, kind wire.Kind, stage, iter, partner int
 	return m, true, nil
 }
 
-func (r *ftRunner) send(bit int, m wire.Message, payload any) error {
-	var err error
-	switch p := payload.(type) {
-	case wire.FTExchangePayload:
-		m.Payload, err = wire.EncodeFTExchange(p)
-	case wire.VerifyPayload:
-		m.Payload, err = wire.EncodeVerify(p)
-	default:
-		err = fmt.Errorf("blocksort: unsupported payload type %T", payload)
-	}
+// sendFT and sendVerify encode into the runner's scratch buffer and
+// transmit. They are typed (rather than one method taking `any`)
+// because interface boxing of a payload struct would allocate on every
+// send.
+
+func (r *ftRunner) sendFT(bit int, m wire.Message, p wire.FTExchangePayload) error {
+	buf, err := wire.AppendFTExchange(r.enc[:0], p)
 	if err != nil {
 		return fmt.Errorf("blocksort: encode: %w", err)
 	}
+	r.enc = buf
+	m.Payload = buf
+	return r.transmit(bit, m)
+}
+
+func (r *ftRunner) sendVerify(bit int, m wire.Message, p wire.VerifyPayload) error {
+	buf, err := wire.AppendVerify(r.enc[:0], p)
+	if err != nil {
+		return fmt.Errorf("blocksort: encode: %w", err)
+	}
+	r.enc = buf
+	m.Payload = buf
+	return r.transmit(bit, m)
+}
+
+// transmit applies the Byzantine tamper hook if any and sends. The
+// transport copies the payload into its own buffer before returning,
+// so the runner's encode scratch is immediately reusable. The tamper
+// path lives in its own method: Tamper takes the message's address,
+// which would otherwise force every honest send's message to the heap.
+func (r *ftRunner) transmit(bit int, m wire.Message) error {
 	if r.opts.Tamper != nil {
-		partner, perr := r.ep.Topology().Partner(r.ep.ID(), bit)
-		if perr != nil {
-			return fmt.Errorf("blocksort: %w", perr)
-		}
-		m.From = int32(r.ep.ID())
-		m.To = int32(partner)
-		out := r.opts.Tamper(&m)
-		if out == nil {
-			return nil
-		}
-		m = *out
+		return r.transmitTampered(bit, m)
 	}
 	if err := r.ep.Send(bit, m); err != nil {
+		return fmt.Errorf("blocksort: send: %w", err)
+	}
+	return nil
+}
+
+func (r *ftRunner) transmitTampered(bit int, m wire.Message) error {
+	partner, perr := r.ep.Topology().Partner(r.ep.ID(), bit)
+	if perr != nil {
+		return fmt.Errorf("blocksort: %w", perr)
+	}
+	m.From = int32(r.ep.ID())
+	m.To = int32(partner)
+	out := r.opts.Tamper(&m)
+	if out == nil {
+		return nil
+	}
+	if err := r.ep.Send(bit, *out); err != nil {
 		return fmt.Errorf("blocksort: send: %w", err)
 	}
 	return nil

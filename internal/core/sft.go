@@ -105,6 +105,18 @@ func NodeProgram(key int64, out *int64, opts Options) node.Program {
 type sftRunner struct {
 	ep   transport.Endpoint
 	opts Options
+
+	// Per-node arenas reused across every stage and iteration so the
+	// steady-state exchange path performs no allocation: payload
+	// encoding scratch, zero-copy decode scratch, the gather view
+	// itself, the wire-view Vals staging area, the two-key send buffer,
+	// and the vect_mask prediction scratch.
+	enc    []byte
+	dec    wire.DecodeScratch
+	view   gatherView
+	wvVals []int64
+	keyBuf [2]int64
+	expect bitset.Set
 }
 
 // fail constructs the node's predicate error with no specific accused
@@ -172,7 +184,8 @@ func (r *sftRunner) run(key int64) (int64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("core: %w", err)
 		}
-		view := newGatherView(sc)
+		view := &r.view
+		view.reset(sc)
 		view.set(id, a) // seed LBS with this stage's starting value
 		for j := s; j >= 0; j-- {
 			a, err = r.ftExchange(view, a, s, j)
@@ -218,7 +231,8 @@ func (r *sftRunner) run(key int64) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
 	}
-	view := newGatherView(scAll)
+	view := &r.view
+	view.reset(scAll)
 	view.set(id, a)
 	for j := n - 1; j >= 0; j-- {
 		if err := r.verifyExchange(view, n-1, j); err != nil {
@@ -312,7 +326,8 @@ func (r *sftRunner) ftExchange(view *gatherView, a int64, s, j int) (int64, erro
 		if !ascending {
 			keep, give = hi, lo
 		}
-		if err := r.sendParts(j, s, []int64{keep, give}, view.wireView()); err != nil {
+		r.keyBuf[0], r.keyBuf[1] = keep, give
+		if err := r.sendParts(j, s, r.keyBuf[:2], view); err != nil {
 			return 0, err
 		}
 		return keep, nil
@@ -320,7 +335,8 @@ func (r *sftRunner) ftExchange(view *gatherView, a int64, s, j int) (int64, erro
 
 	// Passive side: send our key and current view, then adopt the
 	// returned key after validating the pair.
-	if err := r.sendParts(j, s, []int64{a}, view.wireView()); err != nil {
+	r.keyBuf[0] = a
+	if err := r.sendParts(j, s, r.keyBuf[:1], view); err != nil {
 		return 0, err
 	}
 	keys, rv, ok, err := r.recvParts(j, s, partner)
@@ -396,7 +412,7 @@ func (r *sftRunner) verifyExchange(view *gatherView, s, j int) error {
 			return err
 		}
 		if ok {
-			p, derr := wire.DecodeVerify(m.Payload)
+			p, derr := wire.DecodeVerifyInto(&r.dec, m.Payload)
 			if derr != nil && !r.opts.SkipChecks {
 				return r.failFrom(ErrProtocol, stageLabel, j, partner, "undecodable verify from %d: %v", partner, derr)
 			}
@@ -406,18 +422,22 @@ func (r *sftRunner) verifyExchange(view *gatherView, s, j int) error {
 				}
 			}
 		}
-		return r.send(j, wire.Message{
+		v := view.wireViewInto(r.wvVals)
+		r.wvVals = v.Vals
+		return r.sendVerify(j, wire.Message{
 			Kind:  wire.KindVerify,
 			Stage: int32(stageLabel),
 			Iter:  int32(j),
-		}, wire.VerifyPayload{View: view.wireView()})
+		}, wire.VerifyPayload{View: v})
 	}
 
-	if err := r.send(j, wire.Message{
+	v := view.wireViewInto(r.wvVals)
+	r.wvVals = v.Vals
+	if err := r.sendVerify(j, wire.Message{
 		Kind:  wire.KindVerify,
 		Stage: int32(stageLabel),
 		Iter:  int32(j),
-	}, wire.VerifyPayload{View: view.wireView()}); err != nil {
+	}, wire.VerifyPayload{View: v}); err != nil {
 		return err
 	}
 	m, ok, err := r.recvChecked(j, wire.KindVerify, stageLabel, j, partner)
@@ -427,7 +447,7 @@ func (r *sftRunner) verifyExchange(view *gatherView, s, j int) error {
 	if !ok {
 		return nil
 	}
-	p, derr := wire.DecodeVerify(m.Payload)
+	p, derr := wire.DecodeVerifyInto(&r.dec, m.Payload)
 	if derr != nil {
 		if r.opts.SkipChecks {
 			return nil
@@ -439,23 +459,27 @@ func (r *sftRunner) verifyExchange(view *gatherView, s, j int) error {
 
 // sendParts transmits one compare-exchange leg: keys plus view,
 // piggybacked in one message normally, or as two messages under the
-// SeparateCheckMessages ablation.
-func (r *sftRunner) sendParts(bit, s int, keys []int64, v wire.View) error {
+// SeparateCheckMessages ablation. The wire view is staged in the
+// runner's scratch and encoded immediately, so nothing it aliases can
+// change under it.
+func (r *sftRunner) sendParts(bit, s int, keys []int64, view *gatherView) error {
+	v := view.wireViewInto(r.wvVals)
+	r.wvVals = v.Vals
 	if !r.opts.SeparateCheckMessages {
-		return r.send(bit, wire.Message{
+		return r.sendFT(bit, wire.Message{
 			Kind:  wire.KindFTExchange,
 			Stage: int32(s),
 			Iter:  int32(bit),
 		}, wire.FTExchangePayload{Keys: keys, View: v})
 	}
-	if err := r.send(bit, wire.Message{
+	if err := r.sendExchange(bit, wire.Message{
 		Kind:  wire.KindExchange,
 		Stage: int32(s),
 		Iter:  int32(bit),
-	}, wire.ExchangePayload{Keys: keys}); err != nil {
+	}, keys); err != nil {
 		return err
 	}
-	return r.send(bit, wire.Message{
+	return r.sendVerify(bit, wire.Message{
 		Kind:  wire.KindVerify,
 		Stage: int32(s),
 		Iter:  int32(bit),
@@ -464,13 +488,15 @@ func (r *sftRunner) sendParts(bit, s int, keys []int64, v wire.View) error {
 
 // recvParts receives one compare-exchange leg in whichever framing the
 // run uses. ok is false only for SkipChecks nodes tolerating garbage.
+// Returned keys and view alias the runner's decode scratch; both are
+// consumed before the next receive.
 func (r *sftRunner) recvParts(bit, s, partner int) (keys []int64, v wire.View, ok bool, err error) {
 	if !r.opts.SeparateCheckMessages {
 		m, ok, err := r.recvChecked(bit, wire.KindFTExchange, s, bit, partner)
 		if err != nil || !ok {
 			return nil, wire.View{}, false, err
 		}
-		p, derr := wire.DecodeFTExchange(m.Payload)
+		p, derr := wire.DecodeFTExchangeInto(&r.dec, m.Payload)
 		if derr != nil {
 			if r.opts.SkipChecks {
 				return nil, wire.View{}, false, nil
@@ -483,7 +509,10 @@ func (r *sftRunner) recvParts(bit, s, partner int) (keys []int64, v wire.View, o
 	if err != nil || !ok {
 		return nil, wire.View{}, false, err
 	}
-	kp, derr := wire.DecodeExchange(m1.Payload)
+	// The keys land in the scratch's key buffer and the view (below) in
+	// its separate view buffers, so the second decode does not clobber
+	// the first.
+	kp, derr := wire.DecodeExchangeInto(&r.dec, m1.Payload)
 	if derr != nil {
 		if r.opts.SkipChecks {
 			return nil, wire.View{}, false, nil
@@ -494,7 +523,7 @@ func (r *sftRunner) recvParts(bit, s, partner int) (keys []int64, v wire.View, o
 	if err != nil || !ok {
 		return nil, wire.View{}, false, err
 	}
-	vp, derr := wire.DecodeVerify(m2.Payload)
+	vp, derr := wire.DecodeVerifyInto(&r.dec, m2.Payload)
 	if derr != nil {
 		if r.opts.SkipChecks {
 			return nil, wire.View{}, false, nil
@@ -537,9 +566,9 @@ func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, 
 
 func (r *sftRunner) expectedMask(s, j, sender int, sc hypercube.Subcube, postExchange bool) (bitset.Set, error) {
 	if postExchange {
-		return VectMask(s, j, sender, sc)
+		return VectMaskInto(&r.expect, s, j, sender, sc)
 	}
-	return VectMaskBefore(s, j, sender, sc)
+	return VectMaskBeforeInto(&r.expect, s, j, sender, sc)
 }
 
 // recvChecked receives from the given link and validates the header
@@ -569,37 +598,64 @@ func (r *sftRunner) recvChecked(bit int, kind wire.Kind, stage, iter, partner in
 	return m, true, nil
 }
 
-// send encodes the payload, applies the Byzantine tamper hook if any,
-// and transmits.
-func (r *sftRunner) send(bit int, m wire.Message, payload any) error {
-	var err error
-	switch p := payload.(type) {
-	case wire.FTExchangePayload:
-		m.Payload, err = wire.EncodeFTExchange(p)
-	case wire.VerifyPayload:
-		m.Payload, err = wire.EncodeVerify(p)
-	case wire.ExchangePayload:
-		m.Payload = wire.EncodeExchange(p)
-	default:
-		err = fmt.Errorf("core: unsupported payload type %T", payload)
-	}
+// sendFT, sendVerify, and sendExchange encode their payload into the
+// runner's scratch buffer and transmit. They are typed (rather than one
+// method taking `any`) because interface boxing of a payload struct
+// would allocate on every send.
+
+func (r *sftRunner) sendFT(bit int, m wire.Message, p wire.FTExchangePayload) error {
+	buf, err := wire.AppendFTExchange(r.enc[:0], p)
 	if err != nil {
 		return fmt.Errorf("core: encode: %w", err)
 	}
+	r.enc = buf
+	m.Payload = buf
+	return r.transmit(bit, m)
+}
+
+func (r *sftRunner) sendVerify(bit int, m wire.Message, p wire.VerifyPayload) error {
+	buf, err := wire.AppendVerify(r.enc[:0], p)
+	if err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	r.enc = buf
+	m.Payload = buf
+	return r.transmit(bit, m)
+}
+
+func (r *sftRunner) sendExchange(bit int, m wire.Message, keys []int64) error {
+	r.enc = wire.AppendExchange(r.enc[:0], keys)
+	m.Payload = r.enc
+	return r.transmit(bit, m)
+}
+
+// transmit applies the Byzantine tamper hook if any and sends. The
+// transport copies the payload into its own buffer before returning, so
+// the runner's encode scratch is immediately reusable. The tamper path
+// lives in its own method: Tamper takes the message's address, which
+// would otherwise force every honest send's message to the heap.
+func (r *sftRunner) transmit(bit int, m wire.Message) error {
 	if r.opts.Tamper != nil {
-		partner, perr := r.ep.Topology().Partner(r.ep.ID(), bit)
-		if perr != nil {
-			return fmt.Errorf("core: %w", perr)
-		}
-		m.From = int32(r.ep.ID())
-		m.To = int32(partner)
-		out := r.opts.Tamper(&m)
-		if out == nil {
-			return nil // Byzantine silence
-		}
-		m = *out
+		return r.transmitTampered(bit, m)
 	}
 	if err := r.ep.Send(bit, m); err != nil {
+		return fmt.Errorf("core: send: %w", err)
+	}
+	return nil
+}
+
+func (r *sftRunner) transmitTampered(bit int, m wire.Message) error {
+	partner, perr := r.ep.Topology().Partner(r.ep.ID(), bit)
+	if perr != nil {
+		return fmt.Errorf("core: %w", perr)
+	}
+	m.From = int32(r.ep.ID())
+	m.To = int32(partner)
+	out := r.opts.Tamper(&m)
+	if out == nil {
+		return nil // Byzantine silence
+	}
+	if err := r.ep.Send(bit, *out); err != nil {
 		return fmt.Errorf("core: send: %w", err)
 	}
 	return nil

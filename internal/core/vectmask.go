@@ -24,25 +24,32 @@ import (
 // dimensions. VectMaskRecursive implements the literal recurrence; the
 // two are property-tested against each other.
 func VectMask(stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
+	var set bitset.Set
+	return VectMaskInto(&set, stage, iter, node, sc)
+}
+
+// VectMaskInto computes VectMask into a caller-owned scratch set,
+// reusing its storage; the merge path evaluates one vect_mask per
+// received view, so this keeps Φ_C allocation-free in steady state.
+// The returned set shares dst's storage.
+func VectMaskInto(dst *bitset.Set, stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
 	if err := checkMaskArgs(stage, iter, node, sc); err != nil {
 		return bitset.Set{}, err
 	}
-	set := bitset.New(sc.Size())
-	// Enumerate all subsets of bit positions iter..stage.
-	bitsAvail := make([]int, 0, stage-iter+1)
-	for b := iter; b <= stage; b++ {
-		bitsAvail = append(bitsAvail, b)
-	}
-	for sub := 0; sub < 1<<uint(len(bitsAvail)); sub++ {
+	dst.Reset(sc.Size())
+	// Enumerate all subsets of bit positions iter..stage: the k-th bit
+	// of sub selects dimension iter+k.
+	width := stage - iter + 1
+	for sub := 0; sub < 1<<uint(width); sub++ {
 		m := 0
-		for k, b := range bitsAvail {
+		for k := 0; k < width; k++ {
 			if sub&(1<<uint(k)) != 0 {
-				m |= 1 << uint(b)
+				m |= 1 << uint(iter+k)
 			}
 		}
-		set.Add((node ^ m) - sc.Start)
+		dst.Add((node ^ m) - sc.Start)
 	}
-	return set, nil
+	return *dst, nil
 }
 
 // VectMaskBefore returns the knowledge a node holds *before* the
@@ -51,15 +58,22 @@ func VectMask(stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
 // iteration iter+1. Receivers use it to validate the mask claimed by
 // a passive sender, whose view is transmitted pre-merge.
 func VectMaskBefore(stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
+	var set bitset.Set
+	return VectMaskBeforeInto(&set, stage, iter, node, sc)
+}
+
+// VectMaskBeforeInto is VectMaskBefore into a caller-owned scratch set;
+// the returned set shares dst's storage.
+func VectMaskBeforeInto(dst *bitset.Set, stage, iter, node int, sc hypercube.Subcube) (bitset.Set, error) {
 	if iter == stage {
 		if err := checkMaskArgs(stage, iter, node, sc); err != nil {
 			return bitset.Set{}, err
 		}
-		set := bitset.New(sc.Size())
-		set.Add(node - sc.Start)
-		return set, nil
+		dst.Reset(sc.Size())
+		dst.Add(node - sc.Start)
+		return *dst, nil
 	}
-	return VectMask(stage, iter+1, node, sc)
+	return VectMaskInto(dst, stage, iter+1, node, sc)
 }
 
 // VectMaskRecursive is the paper's vect_mask recurrence implemented

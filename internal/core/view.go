@@ -18,10 +18,23 @@ type gatherView struct {
 }
 
 func newGatherView(sc hypercube.Subcube) *gatherView {
-	return &gatherView{
-		sc:   sc,
-		have: bitset.New(sc.Size()),
-		vals: make([]int64, sc.Size()),
+	g := &gatherView{}
+	g.reset(sc)
+	return g
+}
+
+// reset reinitializes the view for a new subcube, reusing storage so a
+// node's per-stage views share one arena across the whole run.
+func (g *gatherView) reset(sc hypercube.Subcube) {
+	g.sc = sc
+	g.have.Reset(sc.Size())
+	if cap(g.vals) < sc.Size() {
+		g.vals = make([]int64, sc.Size())
+	} else {
+		g.vals = g.vals[:sc.Size()]
+		for i := range g.vals {
+			g.vals[i] = 0
+		}
 	}
 }
 
@@ -44,15 +57,25 @@ func (g *gatherView) values() []int64 {
 
 // wireView converts the working view to its wire representation.
 func (g *gatherView) wireView() wire.View {
-	vals := make([]int64, 0, g.have.Count())
-	for _, idx := range g.have.Indices() {
+	return g.wireViewInto(nil)
+}
+
+// wireViewInto is wireView with a caller-owned Vals scratch (grown as
+// needed and returned inside the view). The result's Mask shares the
+// working view's storage and its Vals share the scratch, so it must be
+// encoded before the view or scratch changes — which every send path
+// does immediately.
+func (g *gatherView) wireViewInto(scratch []int64) wire.View {
+	vals := scratch[:0]
+	g.have.Each(func(idx int) bool {
 		vals = append(vals, g.vals[idx])
-	}
+		return true
+	})
 	return wire.View{
 		Base:     int32(g.sc.Start),
 		Size:     int32(g.sc.Size()),
 		BlockLen: 1,
-		Mask:     g.have.Clone(),
+		Mask:     g.have,
 		Vals:     vals,
 	}
 }
@@ -74,21 +97,32 @@ func (g *gatherView) mergeChecked(rv wire.View, expected bitset.Set) error {
 	if !rv.Mask.Equal(expected) {
 		return fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
 	}
+	return g.adopt(rv)
+}
+
+// adopt folds the (already validated) view's entries in: overlapping
+// copies must agree, missing slots are adopted. Iteration uses the
+// mask's allocation-free Each, keeping the per-exchange merge garbage-
+// free.
+func (g *gatherView) adopt(rv wire.View) error {
+	var conflict error
 	vi := 0
-	for _, idx := range rv.Mask.Indices() {
+	rv.Mask.Each(func(idx int) bool {
 		v := rv.Vals[vi]
 		vi++
 		if g.have.Has(idx) {
 			if g.vals[idx] != v {
-				return fmt.Errorf("slot %d (node %d): held copy %d disagrees with relayed copy %d",
+				conflict = fmt.Errorf("slot %d (node %d): held copy %d disagrees with relayed copy %d",
 					idx, g.sc.Start+idx, g.vals[idx], v)
+				return false
 			}
-			continue
+			return true
 		}
 		g.have.Add(idx)
 		g.vals[idx] = v
-	}
-	return nil
+		return true
+	})
+	return conflict
 }
 
 // mergeTrusting folds a received view in while believing the sender's
@@ -102,21 +136,7 @@ func (g *gatherView) mergeTrusting(rv wire.View) error {
 	if int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() {
 		return fmt.Errorf("view bounds [%d,+%d) do not match subcube %v", rv.Base, rv.Size, g.sc)
 	}
-	vi := 0
-	for _, idx := range rv.Mask.Indices() {
-		v := rv.Vals[vi]
-		vi++
-		if g.have.Has(idx) {
-			if g.vals[idx] != v {
-				return fmt.Errorf("slot %d (node %d): held copy %d disagrees with relayed copy %d",
-					idx, g.sc.Start+idx, g.vals[idx], v)
-			}
-			continue
-		}
-		g.have.Add(idx)
-		g.vals[idx] = v
-	}
-	return nil
+	return g.adopt(rv)
 }
 
 // mergeLenient folds a received view in without any checking: slots we
@@ -127,12 +147,13 @@ func (g *gatherView) mergeLenient(rv wire.View) {
 		return
 	}
 	vi := 0
-	for _, idx := range rv.Mask.Indices() {
+	rv.Mask.Each(func(idx int) bool {
 		v := rv.Vals[vi]
 		vi++
 		if !g.have.Has(idx) {
 			g.have.Add(idx)
 			g.vals[idx] = v
 		}
-	}
+		return true
+	})
 }

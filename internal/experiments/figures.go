@@ -35,19 +35,30 @@ type Table1Result struct {
 // well-behaved. EXPERIMENTS.md records the substitution.
 func Table1(dims []int, seed int64) (Table1Result, error) {
 	var res Table1Result
-	for _, d := range dims {
-		ms, err := MeasureSFT(d, seed)
-		if err != nil {
-			return Table1Result{}, fmt.Errorf("table1: dim %d: %w", d, err)
+	// The (dim, algorithm) points are independent — each owns a private
+	// simulated network — so they run concurrently, slotted by index.
+	res.SFTPoints = make([]costmodel.Point, len(dims))
+	res.SeqPoints = make([]costmodel.Point, len(dims))
+	err := forEach(2*len(dims), func(k int) error {
+		d := dims[k/2]
+		if k%2 == 0 {
+			ms, err := MeasureSFT(d, seed)
+			if err != nil {
+				return fmt.Errorf("table1: dim %d: %w", d, err)
+			}
+			res.SFTPoints[k/2] = ms.Point()
+			return nil
 		}
-		res.SFTPoints = append(res.SFTPoints, ms.Point())
 		mh, err := MeasureHostSort(d, seed)
 		if err != nil {
-			return Table1Result{}, fmt.Errorf("table1: dim %d: %w", d, err)
+			return fmt.Errorf("table1: dim %d: %w", d, err)
 		}
-		res.SeqPoints = append(res.SeqPoints, mh.Point())
+		res.SeqPoints[k/2] = mh.Point()
+		return nil
+	})
+	if err != nil {
+		return Table1Result{}, err
 	}
-	var err error
 	res.SFT, err = costmodel.Fit("S_FT (measured)", res.SFTPoints,
 		[]costmodel.Basis{costmodel.BasisLg2N, costmodel.BasisLgN, costmodel.BasisN},
 		[]costmodel.Basis{costmodel.BasisN})
@@ -113,19 +124,40 @@ func Figure6(dims, fitDims []int, seed int64) (Figure6Result, error) {
 		return Figure6Result{}, err
 	}
 	out := Figure6Result{Fit: fit}
-	for _, d := range dims {
-		snr, err := MeasureSNR(d, seed)
-		if err != nil {
-			return Figure6Result{}, fmt.Errorf("figure6: dim %d: %w", d, err)
+	// Fan the (dim, algorithm) measurement points out on the worker
+	// pool; each owns a private simulated network. Results slot into
+	// their row by index so the output is deterministic.
+	out.Rows = make([]Figure6Row, len(dims))
+	err = forEach(3*len(dims), func(k int) error {
+		i, alg := k/3, k%3
+		d := dims[i]
+		var m Measurement
+		var merr error
+		switch alg {
+		case 0:
+			m, merr = MeasureSNR(d, seed)
+		case 1:
+			m, merr = MeasureSFT(d, seed)
+		default:
+			m, merr = MeasureHostSort(d, seed)
 		}
-		sft, err := MeasureSFT(d, seed)
-		if err != nil {
-			return Figure6Result{}, fmt.Errorf("figure6: dim %d: %w", d, err)
+		if merr != nil {
+			return fmt.Errorf("figure6: dim %d: %w", d, merr)
 		}
-		host, err := MeasureHostSort(d, seed)
-		if err != nil {
-			return Figure6Result{}, fmt.Errorf("figure6: dim %d: %w", d, err)
+		switch alg {
+		case 0:
+			out.Rows[i].SNR = m
+		case 1:
+			out.Rows[i].SFT = m
+		default:
+			out.Rows[i].Host = m
 		}
+		return nil
+	})
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	for i, d := range dims {
 		n := float64(int64(1) << uint(d))
 		sftTheory, err := fit.SFT.Total(n)
 		if err != nil {
@@ -135,14 +167,13 @@ func Figure6(dims, fitDims []int, seed int64) (Figure6Result, error) {
 		if err != nil {
 			return Figure6Result{}, err
 		}
-		row := Figure6Row{
-			N: 1 << uint(d), SNR: snr, SFT: sft, Host: host,
-			SFTTheory: sftTheory, HostTheory: hostTheory,
+		row := &out.Rows[i]
+		row.N = 1 << uint(d)
+		row.SFTTheory = sftTheory
+		row.HostTheory = hostTheory
+		if row.SNR.Makespan > 0 {
+			row.SFTOverhead = float64(row.SFT.Makespan) / float64(row.SNR.Makespan)
 		}
-		if snr.Makespan > 0 {
-			row.SFTOverhead = float64(sft.Makespan) / float64(snr.Makespan)
-		}
-		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
 }
@@ -305,21 +336,42 @@ type Figure8Result struct {
 // representative block size m, against the host baseline.
 func Figure8(dims []int, m int, seed int64) (Figure8Result, error) {
 	var out Figure8Result
-	for _, d := range dims {
-		nr, err := MeasureBlockNR(d, m, seed)
-		if err != nil {
-			return Figure8Result{}, fmt.Errorf("figure8: dim %d: %w", d, err)
+	// Independent (dim, algorithm) points run concurrently on the
+	// worker pool, each with a private simulated network.
+	out.Rows = make([]Figure8Row, len(dims))
+	err := forEach(3*len(dims), func(k int) error {
+		i, alg := k/3, k%3
+		d := dims[i]
+		var ms Measurement
+		var merr error
+		switch alg {
+		case 0:
+			ms, merr = MeasureBlockNR(d, m, seed)
+		case 1:
+			ms, merr = MeasureBlockFT(d, m, seed)
+		default:
+			ms, merr = MeasureHostSortBlocks(d, m, seed)
 		}
-		ft, err := MeasureBlockFT(d, m, seed)
-		if err != nil {
-			return Figure8Result{}, fmt.Errorf("figure8: dim %d: %w", d, err)
+		if merr != nil {
+			return fmt.Errorf("figure8: dim %d: %w", d, merr)
 		}
-		host, err := MeasureHostSortBlocks(d, m, seed)
-		if err != nil {
-			return Figure8Result{}, fmt.Errorf("figure8: dim %d: %w", d, err)
+		switch alg {
+		case 0:
+			out.Rows[i].BlockNR = ms
+		case 1:
+			out.Rows[i].BlockFT = ms
+		default:
+			out.Rows[i].Host = ms
 		}
-		out.Rows = append(out.Rows, Figure8Row{N: 1 << uint(d), M: m, BlockNR: nr, BlockFT: ft, Host: host})
-		if out.Crossover == 0 && ft.Makespan < host.Makespan {
+		return nil
+	})
+	if err != nil {
+		return Figure8Result{}, err
+	}
+	for i, d := range dims {
+		out.Rows[i].N = 1 << uint(d)
+		out.Rows[i].M = m
+		if out.Crossover == 0 && out.Rows[i].BlockFT.Makespan < out.Rows[i].Host.Makespan {
 			out.Crossover = 1 << uint(d)
 		}
 	}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs f(0), …, f(n-1) on a bounded worker pool (at most
+// GOMAXPROCS workers) and waits for all of them. Every task runs even
+// if an earlier one fails; the returned error is the lowest-indexed
+// failure, so results and errors are deterministic regardless of
+// scheduling.
+//
+// The sweep points of Table 1 and Figures 6/8 are independent — each
+// owns a private simulated network — which is what makes this fan-out
+// safe.
+func forEach(n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -79,7 +79,7 @@ func RunHostSortBlocks(nw transport.Network, blocks [][]int64) ([][]int64, *node
 		id := ep.ID()
 		up := wire.Message{
 			Kind:    wire.KindHostUpload,
-			Payload: wire.EncodeHost(wire.HostPayload{Keys: blocks[id]}),
+			Payload: wire.AppendHost(nil, blocks[id]),
 		}
 		if err := ep.SendHost(up); err != nil {
 			return fmt.Errorf("hostsort: node %d upload: %w", id, err)
@@ -97,13 +97,17 @@ func RunHostSortBlocks(nw transport.Network, blocks [][]int64) ([][]int64, *node
 	}
 
 	hostProg := func(h transport.Host) error {
+		// The gather loop decodes into one scratch and appends into the
+		// preallocated flat slice, so the host's per-message work is
+		// allocation-free.
+		var dec wire.DecodeScratch
 		all := make([]int64, 0, n*m)
 		for seen := 0; seen < n; seen++ {
 			msg, err := h.Recv()
 			if err != nil {
 				return fmt.Errorf("hostsort: host gather: %w", err)
 			}
-			p, err := wire.DecodeHost(msg.Payload)
+			p, err := wire.DecodeHostInto(&dec, msg.Payload)
 			if err != nil {
 				return fmt.Errorf("hostsort: host gather: %w", err)
 			}
@@ -112,10 +116,12 @@ func RunHostSortBlocks(nw transport.Network, blocks [][]int64) ([][]int64, *node
 		sorted, compares := MergeSortCount(all)
 		h.ChargeCompare(compares)
 		h.ChargeKeyMove(len(sorted))
+		var enc []byte
 		for id := 0; id < n; id++ {
+			enc = wire.AppendHost(enc[:0], sorted[id*m:(id+1)*m])
 			msg := wire.Message{
 				Kind:    wire.KindHostDownload,
-				Payload: wire.EncodeHost(wire.HostPayload{Keys: sorted[id*m : (id+1)*m]}),
+				Payload: enc,
 			}
 			if err := h.Send(id, msg); err != nil {
 				return fmt.Errorf("hostsort: host scatter: %w", err)
@@ -146,10 +152,11 @@ func RunHostVerify(nw transport.Network, keys []int64) ([]int64, *node.Result, e
 	out := make([]int64, n)
 	prog := func(ep transport.Endpoint) error {
 		id := ep.ID()
+		kbuf := [1]int64{keys[id]}
 		up := wire.Message{
 			Kind:    wire.KindHostUpload,
 			Stage:   0, // phase marker: initial data
-			Payload: wire.EncodeHost(wire.HostPayload{Keys: []int64{keys[id]}}),
+			Payload: wire.AppendHost(nil, kbuf[:]),
 		}
 		if err := ep.SendHost(up); err != nil {
 			return fmt.Errorf("hostsort: node %d initial upload: %w", id, err)
@@ -159,10 +166,11 @@ func RunHostVerify(nw transport.Network, keys []int64) ([]int64, *node.Result, e
 			return err
 		}
 		out[id] = final
+		kbuf[0] = final
 		up2 := wire.Message{
 			Kind:    wire.KindHostUpload,
 			Stage:   1, // phase marker: sorted data
-			Payload: wire.EncodeHost(wire.HostPayload{Keys: []int64{final}}),
+			Payload: wire.AppendHost(nil, kbuf[:]),
 		}
 		if err := ep.SendHost(up2); err != nil {
 			return fmt.Errorf("hostsort: node %d sorted upload: %w", id, err)
@@ -171,6 +179,7 @@ func RunHostVerify(nw transport.Network, keys []int64) ([]int64, *node.Result, e
 	}
 
 	hostProg := func(h transport.Host) error {
+		var dec wire.DecodeScratch
 		initial := make([]int64, n)
 		sorted := make([]int64, n)
 		for seen := 0; seen < 2*n; seen++ {
@@ -178,7 +187,7 @@ func RunHostVerify(nw transport.Network, keys []int64) ([]int64, *node.Result, e
 			if err != nil {
 				return fmt.Errorf("hostsort: host gather: %w", err)
 			}
-			p, err := wire.DecodeHost(msg.Payload)
+			p, err := wire.DecodeHostInto(&dec, msg.Payload)
 			if err != nil || len(p.Keys) != 1 {
 				return fmt.Errorf("hostsort: host gather from %d: bad payload", msg.From)
 			}

@@ -73,10 +73,14 @@ var ErrLinkBackpressure = errors.New("simnet: link queue full")
 // queue depth is the modelled quantity.)
 const linkQueueDepth = 32
 
-// packet is a message in flight with its virtual arrival time.
+// packet is a message in flight with its virtual arrival time. pooled
+// marks buffers owned by the network's free list: the receiver recycles
+// them at its next receive. Fault-path deliveries are never pooled,
+// since interceptors may retain or alias the buffer.
 type packet struct {
 	raw     []byte
 	arrival Ticks
+	pooled  bool
 }
 
 // LinkFault intercepts traffic on one directed link. Apply receives
@@ -150,8 +154,40 @@ type Network struct {
 
 	mu     sync.RWMutex
 	faults map[[2]int][]LinkFault // key: {from, to}
+	// faultCount mirrors the total number of installed faults so Send
+	// can skip the fault table (and its RLock) entirely when the count
+	// is zero — the common case for every no-fault benchmark run.
+	faultCount atomic.Int32
+
+	// pool is a free list of message buffers shared by all endpoints.
+	// A channel (rather than sync.Pool) keeps Get/Put allocation-free:
+	// boxing a []byte in an interface would itself allocate.
+	pool chan []byte
 
 	metrics Metrics
+}
+
+// poolBufCap sizes fresh pool buffers to hold an FT-exchange frame for
+// the dimensions the experiments sweep without regrowth.
+const poolBufCap = 1024
+
+func (nw *Network) getBuf() []byte {
+	select {
+	case b := <-nw.pool:
+		return b[:0]
+	default:
+		return make([]byte, 0, poolBufCap)
+	}
+}
+
+func (nw *Network) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case nw.pool <- b:
+	default: // pool full; let the GC have it
+	}
 }
 
 // New constructs a network for the given configuration.
@@ -177,6 +213,7 @@ func New(cfg Config) (*Network, error) {
 		hostIn:      make(chan packet, 4*n+16),
 		hostOut:     make([]chan packet, n),
 		faults:      make(map[[2]int][]LinkFault),
+		pool:        make(chan []byte, 4*n+16),
 	}
 	for id := 0; id < n; id++ {
 		net.links[id] = make([]chan packet, topo.Dim())
@@ -208,6 +245,7 @@ func (nw *Network) InstallLinkFault(from, to int, f LinkFault) error {
 	defer nw.mu.Unlock()
 	key := [2]int{from, to}
 	nw.faults[key] = append(nw.faults[key], f)
+	nw.faultCount.Add(1)
 	return nil
 }
 
@@ -227,6 +265,44 @@ type Endpoint struct {
 	clock     Ticks
 	commTicks Ticks
 	compTicks Ticks
+
+	// recvTimer is reused across blocking receives so the steady state
+	// allocates no timers. It is only ever Reset after a clean Stop or
+	// after its tick was consumed, which is safe under both pre- and
+	// post-1.23 timer semantics.
+	recvTimer *time.Timer
+	// pendingFree is the pooled buffer backing the most recently
+	// delivered message; it is recycled at the next receive, which is
+	// what bounds the validity of a zero-copy Payload.
+	pendingFree []byte
+}
+
+// release recycles the buffer behind the previously delivered message.
+func (e *Endpoint) release() {
+	if e.pendingFree != nil {
+		e.net.putBuf(e.pendingFree)
+		e.pendingFree = nil
+	}
+}
+
+// armTimer returns the endpoint's receive timer, running with the
+// network's timeout.
+func (e *Endpoint) armTimer() *time.Timer {
+	if e.recvTimer == nil {
+		e.recvTimer = time.NewTimer(e.net.recvTimeout)
+	} else {
+		e.recvTimer.Reset(e.net.recvTimeout)
+	}
+	return e.recvTimer
+}
+
+// disarmTimer stops the receive timer after a successful receive. If
+// the timer already fired its tick may still be in flight, so the timer
+// is retired instead of risking a stale tick on reuse.
+func (e *Endpoint) disarmTimer() {
+	if !e.recvTimer.Stop() {
+		e.recvTimer = nil
+	}
 }
 
 // Endpoint returns the endpoint for a node. Call once per node before
@@ -279,15 +355,32 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	}
 	m.From = int32(e.id)
 	m.To = int32(partner)
-	raw, err := wire.Encode(m)
+	buf := e.net.getBuf()
+	raw, err := wire.AppendMessage(buf, m)
 	if err != nil {
+		e.net.putBuf(buf)
 		return fmt.Errorf("simnet: send: %w", err)
 	}
 	cost := e.net.cost.SendFixed + Ticks(len(raw))*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
 	e.net.metrics.record(m.Kind, len(raw))
+	arrival := e.clock + e.net.cost.Latency
 
+	if e.net.faultCount.Load() == 0 {
+		// Lock-free fast path: no fault anywhere in the network, so
+		// skip the fault-table RLock and keep the buffer pooled.
+		select {
+		case e.net.links[partner][bit] <- packet{raw: raw, arrival: arrival, pooled: true}:
+			return nil
+		default:
+			e.net.putBuf(raw)
+			return fmt.Errorf("simnet: %d -> %d: %w", e.id, partner, ErrLinkBackpressure)
+		}
+	}
+
+	// Fault path: interceptors may retain, alias, or split the buffer,
+	// so deliveries leave the pool for good.
 	deliveries := [][]byte{raw}
 	for _, f := range e.net.linkFaults(e.id, partner) {
 		var next [][]byte
@@ -296,7 +389,6 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 		}
 		deliveries = next
 	}
-	arrival := e.clock + e.net.cost.Latency
 	for _, d := range deliveries {
 		select {
 		case e.net.links[partner][bit] <- packet{raw: d, arrival: arrival}:
@@ -313,14 +405,26 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 // if nothing arrives within the network's wall-clock timeout, and a
 // decode error if the (possibly fault-corrupted) bytes do not parse —
 // both are detectable faults under the paper's model.
+//
+// The returned message's Payload aliases a network-owned buffer and is
+// valid only until the endpoint's next receive (Recv or RecvHost):
+// decode or copy the payload before receiving again.
 func (e *Endpoint) Recv(bit int) (wire.Message, error) {
 	if bit < 0 || bit >= e.net.topo.Dim() {
 		return wire.Message{}, fmt.Errorf("simnet: recv: bit %d outside dimension %d", bit, e.net.topo.Dim())
 	}
-	timer := time.NewTimer(e.net.recvTimeout)
-	defer timer.Stop()
+	e.release()
+	ch := e.net.links[e.id][bit]
+	// Fast path: a queued packet means no timer is needed at all.
 	select {
-	case pkt := <-e.net.links[e.id][bit]:
+	case pkt := <-ch:
+		return e.acceptPacket(pkt)
+	default:
+	}
+	timer := e.armTimer()
+	select {
+	case pkt := <-ch:
+		e.disarmTimer()
 		return e.acceptPacket(pkt)
 	case <-timer.C:
 		partner, _ := e.net.topo.Partner(e.id, bit)
@@ -336,9 +440,15 @@ func (e *Endpoint) acceptPacket(pkt packet) (wire.Message, error) {
 	cost := e.net.cost.RecvFixed + Ticks(len(pkt.raw))*e.net.cost.RecvPerByte
 	e.clock += cost
 	e.commTicks += cost
-	m, err := wire.Decode(pkt.raw)
+	m, err := wire.DecodeFrom(pkt.raw)
 	if err != nil {
+		if pkt.pooled {
+			e.net.putBuf(pkt.raw)
+		}
 		return wire.Message{}, fmt.Errorf("simnet: node %d: garbled message: %w", e.id, err)
+	}
+	if pkt.pooled {
+		e.pendingFree = pkt.raw
 	}
 	return m, nil
 }
@@ -348,28 +458,40 @@ func (e *Endpoint) acceptPacket(pkt packet) (wire.Message, error) {
 func (e *Endpoint) SendHost(m wire.Message) error {
 	m.From = int32(e.id)
 	m.To = wire.HostID
-	raw, err := wire.Encode(m)
+	buf := e.net.getBuf()
+	raw, err := wire.AppendMessage(buf, m)
 	if err != nil {
+		e.net.putBuf(buf)
 		return fmt.Errorf("simnet: send host: %w", err)
 	}
 	cost := e.net.cost.SendFixed + Ticks(len(raw))*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
 	e.net.metrics.record(m.Kind, len(raw))
+	// Host links bypass fault interceptors, so the buffer stays pooled.
 	select {
-	case e.net.hostIn <- packet{raw: raw, arrival: e.clock + e.net.cost.Latency}:
+	case e.net.hostIn <- packet{raw: raw, arrival: e.clock + e.net.cost.Latency, pooled: true}:
 		return nil
 	default:
+		e.net.putBuf(raw)
 		return fmt.Errorf("simnet: node %d -> host: %w", e.id, ErrLinkBackpressure)
 	}
 }
 
-// RecvHost blocks for the next message from the host.
+// RecvHost blocks for the next message from the host. Like Recv, the
+// returned Payload is valid only until the endpoint's next receive.
 func (e *Endpoint) RecvHost() (wire.Message, error) {
-	timer := time.NewTimer(e.net.recvTimeout)
-	defer timer.Stop()
+	e.release()
+	ch := e.net.hostOut[e.id]
 	select {
-	case pkt := <-e.net.hostOut[e.id]:
+	case pkt := <-ch:
+		return e.acceptPacket(pkt)
+	default:
+	}
+	timer := e.armTimer()
+	select {
+	case pkt := <-ch:
+		e.disarmTimer()
 		return e.acceptPacket(pkt)
 	case <-timer.C:
 		return wire.Message{}, fmt.Errorf("simnet: node %d waiting on host: %w", e.id, ErrAbsent)
@@ -384,6 +506,32 @@ type Host struct {
 	clock     Ticks
 	commTicks Ticks
 	compTicks Ticks
+
+	recvTimer   *time.Timer
+	pendingFree []byte
+}
+
+// release recycles the buffer behind the previously delivered message.
+func (h *Host) release() {
+	if h.pendingFree != nil {
+		h.net.putBuf(h.pendingFree)
+		h.pendingFree = nil
+	}
+}
+
+func (h *Host) armTimer() *time.Timer {
+	if h.recvTimer == nil {
+		h.recvTimer = time.NewTimer(h.net.recvTimeout)
+	} else {
+		h.recvTimer.Reset(h.net.recvTimeout)
+	}
+	return h.recvTimer
+}
+
+func (h *Host) disarmTimer() {
+	if !h.recvTimer.Stop() {
+		h.recvTimer = nil
+	}
 }
 
 // Host returns the host endpoint. Call at most once per network.
@@ -421,8 +569,10 @@ func (h *Host) Send(node int, m wire.Message) error {
 	}
 	m.From = wire.HostID
 	m.To = int32(node)
-	raw, err := wire.Encode(m)
+	buf := h.net.getBuf()
+	raw, err := wire.AppendMessage(buf, m)
 	if err != nil {
+		h.net.putBuf(buf)
 		return fmt.Errorf("simnet: host send: %w", err)
 	}
 	cost := h.net.cost.HostFixed + Ticks(len(raw))*h.net.cost.HostPerByte
@@ -430,30 +580,50 @@ func (h *Host) Send(node int, m wire.Message) error {
 	h.commTicks += cost
 	h.net.metrics.record(m.Kind, len(raw))
 	select {
-	case h.net.hostOut[node] <- packet{raw: raw, arrival: h.clock + h.net.cost.Latency}:
+	case h.net.hostOut[node] <- packet{raw: raw, arrival: h.clock + h.net.cost.Latency, pooled: true}:
 		return nil
 	default:
+		h.net.putBuf(raw)
 		return fmt.Errorf("simnet: host -> %d: %w", node, ErrLinkBackpressure)
 	}
 }
 
-// Recv blocks for the next message from any node.
+// acceptPacket advances the host clock for a delivery and decodes it
+// zero-copy; the payload stays valid until the host's next receive.
+func (h *Host) acceptPacket(pkt packet) (wire.Message, error) {
+	if pkt.arrival > h.clock {
+		h.clock = pkt.arrival
+	}
+	cost := h.net.cost.HostFixed + Ticks(len(pkt.raw))*h.net.cost.HostPerByte
+	h.clock += cost
+	h.commTicks += cost
+	m, err := wire.DecodeFrom(pkt.raw)
+	if err != nil {
+		if pkt.pooled {
+			h.net.putBuf(pkt.raw)
+		}
+		return wire.Message{}, fmt.Errorf("simnet: host: garbled message: %w", err)
+	}
+	if pkt.pooled {
+		h.pendingFree = pkt.raw
+	}
+	return m, nil
+}
+
+// Recv blocks for the next message from any node. The returned
+// Payload is valid only until the host's next receive.
 func (h *Host) Recv() (wire.Message, error) {
-	timer := time.NewTimer(h.net.recvTimeout)
-	defer timer.Stop()
+	h.release()
 	select {
 	case pkt := <-h.net.hostIn:
-		if pkt.arrival > h.clock {
-			h.clock = pkt.arrival
-		}
-		cost := h.net.cost.HostFixed + Ticks(len(pkt.raw))*h.net.cost.HostPerByte
-		h.clock += cost
-		h.commTicks += cost
-		m, err := wire.Decode(pkt.raw)
-		if err != nil {
-			return wire.Message{}, fmt.Errorf("simnet: host: garbled message: %w", err)
-		}
-		return m, nil
+		return h.acceptPacket(pkt)
+	default:
+	}
+	timer := h.armTimer()
+	select {
+	case pkt := <-h.net.hostIn:
+		h.disarmTimer()
+		return h.acceptPacket(pkt)
 	case <-timer.C:
 		return wire.Message{}, fmt.Errorf("simnet: host: %w", ErrAbsent)
 	}
@@ -463,17 +633,12 @@ func (h *Host) Recv() (wire.Message, error) {
 // the full absence timeout; ok is false when the mailbox is empty.
 // The host uses this to poll for ERROR signals between phases.
 func (h *Host) TryRecv() (m wire.Message, ok bool, err error) {
+	h.release()
 	select {
 	case pkt := <-h.net.hostIn:
-		if pkt.arrival > h.clock {
-			h.clock = pkt.arrival
-		}
-		cost := h.net.cost.HostFixed + Ticks(len(pkt.raw))*h.net.cost.HostPerByte
-		h.clock += cost
-		h.commTicks += cost
-		msg, derr := wire.Decode(pkt.raw)
+		msg, derr := h.acceptPacket(pkt)
 		if derr != nil {
-			return wire.Message{}, false, fmt.Errorf("simnet: host: garbled message: %w", derr)
+			return wire.Message{}, false, derr
 		}
 		return msg, true, nil
 	default:

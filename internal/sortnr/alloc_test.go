@@ -1,0 +1,60 @@
+package sortnr
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestExchangeStepZeroAllocs pins the steady-state cost of one S_NR
+// compare-exchange over the simulated network at zero allocations:
+// encode into the runner's buffer, send through the pooled link,
+// zero-copy decode on the far side. Both endpoints run on one
+// goroutine — the passive side sends before the active side receives,
+// so no step ever blocks.
+func TestExchangeStepZeroAllocs(t *testing.T) {
+	nw, err := simnet.New(simnet.Config{Dim: 3, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := nw.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := &runner{ep: ep0}  // bit 0 of node 0 is clear: active
+	passive := &runner{ep: ep1} // bit 0 of node 1 is set: passive
+
+	a0, a1 := int64(7), int64(3)
+	step := func() {
+		// Passive sends first so the active side's Recv never blocks.
+		if err := passive.sendKey(0, 0, 0, a1); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		a0, err = active.exchangeStep(a0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err = passive.recvOneKey(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm up: grow the encode buffers, decode scratch, and the link's
+	// packet/buffer pools to steady state.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Errorf("exchange step: %v allocs/op, want 0", n)
+	}
+	if a0 > a1 {
+		t.Errorf("exchange order violated: active %d > passive %d", a0, a1)
+	}
+}

@@ -64,11 +64,12 @@ func Run(nw transport.Network, keys []int64) ([]int64, *node.Result, error) {
 func runNode(ep transport.Endpoint, key int64, opts Options) (int64, error) {
 	id := ep.ID()
 	n := ep.Topology().Dim()
+	r := &runner{ep: ep, opts: opts}
 	a := key
 	for i := 0; i < n; i++ {
 		for j := i; j >= 0; j-- {
 			var err error
-			a, err = exchangeStep(ep, a, i, j, opts)
+			a, err = r.exchangeStep(a, i, j)
 			if err != nil {
 				return 0, fmt.Errorf("sortnr: node %d stage %d iter %d: %w", id, i, j, err)
 			}
@@ -77,45 +78,56 @@ func runNode(ep transport.Endpoint, key int64, opts Options) (int64, error) {
 	return a, nil
 }
 
+// runner holds one node's reusable scratch — encode buffer, zero-copy
+// decode scratch, and the one-key send staging array — so the
+// steady-state exchange path performs no allocation.
+type runner struct {
+	ep   transport.Endpoint
+	opts Options
+	enc  []byte
+	dec  wire.DecodeScratch
+	kbuf [1]int64
+}
+
 // exchangeStep performs the (i, j) compare-exchange of Figure 2 and
 // returns the node's new key. The node with a zero in bit j is active:
 // it receives the partner's key, compares, keeps one value, and sends
 // the other back. The partner is passive: it sends its key and adopts
 // whatever comes back.
-func exchangeStep(ep transport.Endpoint, a int64, i, j int, opts Options) (int64, error) {
-	id := ep.ID()
-	ascending := ep.Topology().Ascending(i, id)
+func (r *runner) exchangeStep(a int64, i, j int) (int64, error) {
+	id := r.ep.ID()
+	ascending := r.ep.Topology().Ascending(i, id)
 
 	if id&(1<<uint(j)) == 0 { // active: node mod 2d < d
-		data, err := recvOneKey(ep, j)
+		data, err := r.recvOneKey(j)
 		if err != nil {
 			return 0, err
 		}
-		ep.ChargeCompare(1)
+		r.ep.ChargeCompare(1)
 		lo, hi := minmax(data, a)
 		keep, send := lo, hi
 		if !ascending {
 			keep, send = hi, lo
 		}
-		if err := sendKeys(ep, j, i, j, []int64{send}, opts); err != nil {
+		if err := r.sendKey(j, i, j, send); err != nil {
 			return 0, err
 		}
 		return keep, nil
 	}
 
 	// Passive node: send our key, adopt the returned key.
-	if err := sendKeys(ep, j, i, j, []int64{a}, opts); err != nil {
+	if err := r.sendKey(j, i, j, a); err != nil {
 		return 0, err
 	}
-	return recvOneKey(ep, j)
+	return r.recvOneKey(j)
 }
 
-func recvOneKey(ep transport.Endpoint, bit int) (int64, error) {
-	got, err := ep.Recv(bit)
+func (r *runner) recvOneKey(bit int) (int64, error) {
+	got, err := r.ep.Recv(bit)
 	if err != nil {
 		return 0, err
 	}
-	p, err := wire.DecodeExchange(got.Payload)
+	p, err := wire.DecodeExchangeInto(&r.dec, got.Payload)
 	if err != nil {
 		return 0, err
 	}
@@ -125,27 +137,36 @@ func recvOneKey(ep transport.Endpoint, bit int) (int64, error) {
 	return p.Keys[0], nil
 }
 
-func sendKeys(ep transport.Endpoint, bit, stage, iter int, keys []int64, opts Options) error {
+func (r *runner) sendKey(bit, stage, iter int, key int64) error {
+	r.kbuf[0] = key
+	r.enc = wire.AppendExchange(r.enc[:0], r.kbuf[:])
 	m := wire.Message{
 		Kind:    wire.KindExchange,
 		Stage:   int32(stage),
 		Iter:    int32(iter),
-		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: keys}),
+		Payload: r.enc,
 	}
-	if opts.Tamper != nil {
-		partner, err := ep.Topology().Partner(ep.ID(), bit)
-		if err != nil {
-			return err
-		}
-		m.From = int32(ep.ID())
-		m.To = int32(partner)
-		out := opts.Tamper(&m)
-		if out == nil {
-			return nil // Byzantine silence
-		}
-		m = *out
+	if r.opts.Tamper != nil {
+		return r.sendTampered(bit, m)
 	}
-	return ep.Send(bit, m)
+	return r.ep.Send(bit, m)
+}
+
+// sendTampered is the Byzantine branch of sendKey, kept out of line:
+// Tamper takes the message's address, which would otherwise force
+// every honest send's message to the heap.
+func (r *runner) sendTampered(bit int, m wire.Message) error {
+	partner, err := r.ep.Topology().Partner(r.ep.ID(), bit)
+	if err != nil {
+		return err
+	}
+	m.From = int32(r.ep.ID())
+	m.To = int32(partner)
+	out := r.opts.Tamper(&m)
+	if out == nil {
+		return nil // Byzantine silence
+	}
+	return r.ep.Send(bit, *out)
 }
 
 func minmax(x, y int64) (lo, hi int64) {

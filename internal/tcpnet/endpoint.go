@@ -19,6 +19,10 @@ type Endpoint struct {
 	clock     transport.Ticks
 	commTicks transport.Ticks
 	compTicks transport.Ticks
+
+	// sendBuf stages frame header + message for one-write sends and is
+	// reused across calls: steady-state sends allocate nothing.
+	sendBuf []byte
 }
 
 // ID returns the node label.
@@ -64,15 +68,18 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	}
 	m.From = int32(e.id)
 	m.To = int32(partner)
-	raw, err := wire.Encode(m)
+	buf, err := appendFrame(e.sendBuf, m)
 	if err != nil {
 		return fmt.Errorf("tcpnet: send: %w", err)
 	}
-	cost := e.net.cost.SendFixed + transport.Ticks(len(raw))*e.net.cost.SendPerByte
+	e.sendBuf = buf
+	rawLen := len(buf) - frameHeader
+	cost := e.net.cost.SendFixed + transport.Ticks(rawLen)*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
-	e.net.record(m.Kind, len(raw))
-	if err := writeFrame(e.net.nodeConns[e.id][bit], raw, e.clock); err != nil {
+	e.net.record(m.Kind, rawLen)
+	stampFrame(buf, e.clock)
+	if _, err := e.net.nodeConns[e.id][bit].Write(buf); err != nil {
 		return fmt.Errorf("tcpnet: %d -> %d: %w", e.id, partner, err)
 	}
 	return nil
@@ -99,7 +106,9 @@ func (e *Endpoint) accept(pkt packet) (wire.Message, error) {
 	cost := e.net.cost.RecvFixed + transport.Ticks(len(pkt.raw))*e.net.cost.RecvPerByte
 	e.clock += cost
 	e.commTicks += cost
-	m, err := wire.Decode(pkt.raw)
+	// Zero-copy decode: the reader goroutine allocated pkt.raw for this
+	// frame alone and never touches it again, so aliasing is safe here.
+	m, err := wire.DecodeFrom(pkt.raw)
 	if err != nil {
 		return wire.Message{}, fmt.Errorf("tcpnet: node %d: garbled message: %w", e.id, err)
 	}
@@ -110,15 +119,18 @@ func (e *Endpoint) accept(pkt packet) (wire.Message, error) {
 func (e *Endpoint) SendHost(m wire.Message) error {
 	m.From = int32(e.id)
 	m.To = wire.HostID
-	raw, err := wire.Encode(m)
+	buf, err := appendFrame(e.sendBuf, m)
 	if err != nil {
 		return fmt.Errorf("tcpnet: send host: %w", err)
 	}
-	cost := e.net.cost.SendFixed + transport.Ticks(len(raw))*e.net.cost.SendPerByte
+	e.sendBuf = buf
+	rawLen := len(buf) - frameHeader
+	cost := e.net.cost.SendFixed + transport.Ticks(rawLen)*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
-	e.net.record(m.Kind, len(raw))
-	if err := writeFrame(e.net.nodeHostWrite[e.id], raw, e.clock); err != nil {
+	e.net.record(m.Kind, rawLen)
+	stampFrame(buf, e.clock)
+	if _, err := e.net.nodeHostWrite[e.id].Write(buf); err != nil {
 		return fmt.Errorf("tcpnet: node %d -> host: %w", e.id, err)
 	}
 	return nil
@@ -155,6 +167,9 @@ type Host struct {
 	clock     transport.Ticks
 	commTicks transport.Ticks
 	compTicks transport.Ticks
+
+	// sendBuf stages frame header + message, reused across sends.
+	sendBuf []byte
 }
 
 // Clock returns the host's current virtual time.
@@ -192,15 +207,18 @@ func (h *Host) Send(node int, m wire.Message) error {
 	}
 	m.From = wire.HostID
 	m.To = int32(node)
-	raw, err := wire.Encode(m)
+	buf, err := appendFrame(h.sendBuf, m)
 	if err != nil {
 		return fmt.Errorf("tcpnet: host send: %w", err)
 	}
-	cost := h.net.cost.HostFixed + transport.Ticks(len(raw))*h.net.cost.HostPerByte
+	h.sendBuf = buf
+	rawLen := len(buf) - frameHeader
+	cost := h.net.cost.HostFixed + transport.Ticks(rawLen)*h.net.cost.HostPerByte
 	h.clock += cost
 	h.commTicks += cost
-	h.net.record(m.Kind, len(raw))
-	if err := writeFrame(h.net.hostConns[node], raw, h.clock); err != nil {
+	h.net.record(m.Kind, rawLen)
+	stampFrame(buf, h.clock)
+	if _, err := h.net.hostConns[node].Write(buf); err != nil {
 		return fmt.Errorf("tcpnet: host -> %d: %w", node, err)
 	}
 	return nil
@@ -222,7 +240,7 @@ func (h *Host) accept(pkt packet) (wire.Message, error) {
 	cost := h.net.cost.HostFixed + transport.Ticks(len(pkt.raw))*h.net.cost.HostPerByte
 	h.clock += cost
 	h.commTicks += cost
-	m, err := wire.Decode(pkt.raw)
+	m, err := wire.DecodeFrom(pkt.raw)
 	if err != nil {
 		return wire.Message{}, fmt.Errorf("tcpnet: host: garbled message: %w", err)
 	}

@@ -210,15 +210,24 @@ const frameHeader = 4 + 8
 // allocation.
 const maxFrame = wire.MaxPayload + 64
 
-func writeFrame(c net.Conn, raw []byte, departure transport.Ticks) error {
-	hdr := make([]byte, frameHeader)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(raw)))
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(departure))
-	if _, err := c.Write(hdr); err != nil {
-		return err
+// appendFrame appends a zeroed frame header followed by m's wire
+// encoding to buf (normally an endpoint-owned scratch, so steady-state
+// sends allocate nothing). The header is stamped later by stampFrame,
+// once the sender has charged its clock and knows the departure tick.
+func appendFrame(buf []byte, m wire.Message) ([]byte, error) {
+	var zero [frameHeader]byte
+	buf = append(buf[:0], zero[:]...)
+	buf, err := wire.AppendMessage(buf, m)
+	if err != nil {
+		return nil, err
 	}
-	_, err := c.Write(raw)
-	return err
+	return buf, nil
+}
+
+// stampFrame fills in the header of a buffer built by appendFrame.
+func stampFrame(buf []byte, departure transport.Ticks) {
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-frameHeader))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(departure))
 }
 
 // startReader pumps frames from the connection into the inbox until

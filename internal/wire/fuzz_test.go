@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/bitset"
@@ -110,6 +111,37 @@ func FuzzBitsetFromWords(f *testing.F) {
 		}
 		if s.Count() > n {
 			t.Fatalf("count %d exceeds length %d", s.Count(), n)
+		}
+	})
+}
+
+// FuzzDecodeFrom pins the zero-copy decoder to the allocating one:
+// on every input they must agree on accept/reject, and on accept the
+// decoded messages must match field for field (DecodeFrom's payload
+// aliasing the input instead of copying it).
+func FuzzDecodeFrom(f *testing.F) {
+	good, err := Encode(Message{Kind: KindVerify, From: 3, To: 1, Stage: 2, Iter: 1,
+		Payload: []byte{9, 9, 9}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add(make([]byte, headerLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, errWant := Decode(data)
+		got, errGot := DecodeFrom(data)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("Decode err=%v, DecodeFrom err=%v", errWant, errGot)
+		}
+		if errWant != nil {
+			return
+		}
+		if got.Kind != want.Kind || got.From != want.From || got.To != want.To ||
+			got.Stage != want.Stage || got.Iter != want.Iter ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("DecodeFrom = %+v, Decode = %+v", got, want)
 		}
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/bitset"
 )
@@ -40,7 +41,9 @@ const (
 	KindError
 )
 
-var kindNames = map[Kind]string{
+// kindNames is indexed by Kind; Valid and String are on the hot path
+// of every Encode/Decode, so this is an array lookup, not a map.
+var kindNames = [...]string{
 	KindExchange:     "exchange",
 	KindFTExchange:   "ft-exchange",
 	KindVerify:       "verify",
@@ -51,16 +54,15 @@ var kindNames = map[Kind]string{
 
 // String returns the lowercase name of the kind.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if k.Valid() {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
 // Valid reports whether k is a defined message kind.
 func (k Kind) Valid() bool {
-	_, ok := kindNames[k]
-	return ok
+	return int(k) < len(kindNames) && kindNames[k] != ""
 }
 
 // Message is the unit of communication between processors. From/To are
@@ -93,26 +95,52 @@ var ErrTruncated = errors.New("wire: truncated message")
 // Encode serializes the message. The encoding is
 // deterministic, so byte counts are reproducible across runs.
 func Encode(m Message) ([]byte, error) {
+	return AppendMessage(make([]byte, 0, EncodedSize(len(m.Payload))), m)
+}
+
+// AppendMessage appends the wire encoding of m to buf and returns the
+// extended slice. It is the allocation-free form of Encode: callers
+// that reuse buf across sends pay no per-message garbage.
+func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	if !m.Kind.Valid() {
 		return nil, fmt.Errorf("wire: encode: invalid kind %d", m.Kind)
 	}
 	if len(m.Payload) > MaxPayload {
 		return nil, fmt.Errorf("wire: encode: payload %d bytes exceeds max %d", len(m.Payload), MaxPayload)
 	}
-	buf := make([]byte, headerLen+len(m.Payload))
-	buf[0] = byte(m.Kind)
-	binary.LittleEndian.PutUint32(buf[1:], uint32(m.From))
-	binary.LittleEndian.PutUint32(buf[5:], uint32(m.To))
-	binary.LittleEndian.PutUint32(buf[9:], uint32(m.Stage))
-	binary.LittleEndian.PutUint32(buf[13:], uint32(m.Iter))
-	binary.LittleEndian.PutUint32(buf[17:], uint32(len(m.Payload)))
-	copy(buf[headerLen:], m.Payload)
+	off := len(buf)
+	buf = extend(buf, headerLen+len(m.Payload))
+	b := buf[off:]
+	b[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(b[1:], uint32(m.From))
+	binary.LittleEndian.PutUint32(b[5:], uint32(m.To))
+	binary.LittleEndian.PutUint32(b[9:], uint32(m.Stage))
+	binary.LittleEndian.PutUint32(b[13:], uint32(m.Iter))
+	binary.LittleEndian.PutUint32(b[17:], uint32(len(m.Payload)))
+	copy(b[headerLen:], m.Payload)
 	return buf, nil
 }
 
 // Decode parses a message from buf. Trailing bytes after the declared
-// payload are an error: links are message-framed, not streams.
+// payload are an error: links are message-framed, not streams. The
+// returned payload is an independent copy of buf's bytes.
 func Decode(buf []byte) (Message, error) {
+	m, err := DecodeFrom(buf)
+	if err != nil {
+		return Message{}, err
+	}
+	p := make([]byte, len(m.Payload))
+	copy(p, m.Payload)
+	m.Payload = p
+	return m, nil
+}
+
+// DecodeFrom parses a message from buf without copying: the returned
+// Payload aliases buf. Callers own the aliasing contract — the message
+// is valid only as long as buf is neither reused nor mutated. The
+// simulated and TCP transports rely on this to deliver messages with
+// zero steady-state allocation.
+func DecodeFrom(buf []byte) (Message, error) {
 	if len(buf) < headerLen {
 		return Message{}, ErrTruncated
 	}
@@ -134,9 +162,15 @@ func Decode(buf []byte) (Message, error) {
 		return Message{}, fmt.Errorf("wire: decode: buffer %d bytes, header declares %d: %w",
 			len(buf), headerLen+int(n), ErrTruncated)
 	}
-	m.Payload = make([]byte, n)
-	copy(m.Payload, buf[headerLen:])
+	m.Payload = buf[headerLen:]
 	return m, nil
+}
+
+// extend grows buf by n bytes in place when capacity allows, returning
+// the lengthened slice. The appended region is uninitialized; callers
+// must overwrite all of it.
+func extend(buf []byte, n int) []byte {
+	return slices.Grow(buf, n)[:len(buf)+n]
 }
 
 // EncodedSize returns the number of bytes Encode will produce for a
@@ -145,11 +179,16 @@ func EncodedSize(payloadLen int) int { return headerLen + payloadLen }
 
 // --- payload building blocks -------------------------------------------
 
-// AppendKeys appends a length-prefixed key slice to buf.
+// AppendKeys appends a length-prefixed key slice to buf. Keys are
+// marshalled in one 8-byte-stride pass over a pre-grown buffer rather
+// than element-wise appends.
 func AppendKeys(buf []byte, keys []int64) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	off := len(buf)
+	buf = extend(buf, 8*len(keys))
 	for _, k := range keys {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+		binary.LittleEndian.PutUint64(buf[off:], uint64(k))
+		off += 8
 	}
 	return buf
 }
@@ -187,22 +226,36 @@ func (r *reader) u64() (uint64, error) {
 	return v, nil
 }
 
-func (r *reader) keys() ([]int64, error) {
+// keyCount reads and bounds-checks a key-count prefix; after a nil
+// error, readKeys for that many keys cannot run out of buffer.
+func (r *reader) keyCount() (int, error) {
 	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int(n) > (len(r.buf)-r.off)/8 {
+		return 0, fmt.Errorf("wire: key count %d exceeds remaining buffer: %w", n, ErrTruncated)
+	}
+	return int(n), nil
+}
+
+// readKeys fills dst from the buffer in one 8-byte-stride pass. The
+// caller must have bounds-checked len(dst) via keyCount or equivalent.
+func (r *reader) readKeys(dst []int64) {
+	src := r.buf[r.off:]
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	r.off += 8 * len(dst)
+}
+
+func (r *reader) keys() ([]int64, error) {
+	n, err := r.keyCount()
 	if err != nil {
 		return nil, err
 	}
-	if int(n) > (len(r.buf)-r.off)/8 {
-		return nil, fmt.Errorf("wire: key count %d exceeds remaining buffer: %w", n, ErrTruncated)
-	}
 	out := make([]int64, n)
-	for i := range out {
-		v, err := r.u64()
-		if err != nil {
-			return nil, err
-		}
-		out[i] = int64(v)
-	}
+	r.readKeys(out)
 	return out, nil
 }
 
@@ -278,16 +331,30 @@ func AppendView(buf []byte, v View) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Base))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.BlockLen))
-	for _, w := range v.Mask.Words() {
-		buf = binary.LittleEndian.AppendUint64(buf, w)
+	nWords := v.Mask.WordCount()
+	off := len(buf)
+	buf = extend(buf, 8*(nWords+len(v.Vals)))
+	for i := 0; i < nWords; i++ {
+		binary.LittleEndian.PutUint64(buf[off:], v.Mask.Word(i))
+		off += 8
 	}
 	for _, k := range v.Vals {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+		binary.LittleEndian.PutUint64(buf[off:], uint64(k))
+		off += 8
 	}
 	return buf, nil
 }
 
 func (r *reader) view() (View, error) {
+	// A throwaway scratch detaches the result: viewInto allocates all
+	// storage fresh when the scratch starts empty.
+	var s DecodeScratch
+	return r.viewInto(&s)
+}
+
+// viewInto parses a view using (and resizing) the scratch's buffers.
+// The returned View's Mask and Vals alias the scratch.
+func (r *reader) viewInto(s *DecodeScratch) (View, error) {
 	base, err := r.u32()
 	if err != nil {
 		return View{}, err
@@ -304,37 +371,119 @@ func (r *reader) view() (View, error) {
 		return View{}, fmt.Errorf("wire: view size %d block %d implausible: %w", size, blockLen, ErrTruncated)
 	}
 	nWords := (int(size) + 63) / 64
-	words := make([]uint64, nWords)
-	for i := range words {
-		w, err := r.u64()
-		if err != nil {
-			return View{}, err
-		}
-		words[i] = w
+	if nWords > (len(r.buf)-r.off)/8 {
+		return View{}, ErrTruncated
 	}
-	mask, err := bitset.FromWords(int(size), words)
-	if err != nil {
+	s.words = scratchSlice(s.words, nWords)
+	src := r.buf[r.off:]
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+	r.off += 8 * nWords
+	if err := s.mask.LoadWords(int(size), s.words); err != nil {
 		return View{}, fmt.Errorf("wire: view mask: %w", err)
 	}
-	total := mask.Count() * int(blockLen)
+	total := s.mask.Count() * int(blockLen)
 	if total > (len(r.buf)-r.off)/8 {
 		return View{}, fmt.Errorf("wire: view claims %d values beyond buffer: %w", total, ErrTruncated)
 	}
-	vals := make([]int64, total)
-	for i := range vals {
-		x, err := r.u64()
-		if err != nil {
-			return View{}, err
-		}
-		vals[i] = int64(x)
-	}
-	return View{Base: int32(base), Size: int32(size), BlockLen: int32(blockLen), Mask: mask, Vals: vals}, nil
+	s.vals = scratchSlice(s.vals, total)
+	r.readKeys(s.vals)
+	return View{Base: int32(base), Size: int32(size), BlockLen: int32(blockLen), Mask: s.mask, Vals: s.vals}, nil
 }
 
 // ViewEncodedSize returns the payload bytes AppendView produces for a
 // view over size slots with known known slots of blockLen keys each.
 func ViewEncodedSize(size, known, blockLen int) int {
 	return 4 + 4 + 4 + 8*((size+63)/64) + 8*known*blockLen
+}
+
+// --- scratch decoding ------------------------------------------------------
+
+// DecodeScratch holds reusable buffers for the allocation-free
+// Decode*Into variants. Payloads returned by those methods alias the
+// scratch storage (Keys, View.Mask, View.Vals), so each result is valid
+// only until the next Decode*Into call on the same scratch. The zero
+// value is ready to use; after a warm-up call per payload shape, decodes
+// perform no allocation.
+type DecodeScratch struct {
+	keys  []int64
+	vals  []int64
+	words []uint64
+	mask  bitset.Set
+}
+
+// scratchSlice resizes a scratch slice to n elements, reusing capacity
+// when possible. Contents are unspecified; callers overwrite. The
+// result is always non-nil so decoded empty slices compare equal to
+// their allocating counterparts.
+func scratchSlice[T any](s []T, n int) []T {
+	if s == nil || cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// DecodeExchangeInto parses an ExchangePayload into the scratch.
+func DecodeExchangeInto(s *DecodeScratch, buf []byte) (ExchangePayload, error) {
+	r := &reader{buf: buf}
+	n, err := r.keyCount()
+	if err != nil {
+		return ExchangePayload{}, err
+	}
+	s.keys = scratchSlice(s.keys, n)
+	r.readKeys(s.keys)
+	if err := r.done(); err != nil {
+		return ExchangePayload{}, err
+	}
+	return ExchangePayload{Keys: s.keys}, nil
+}
+
+// DecodeFTExchangeInto parses an FTExchangePayload into the scratch.
+func DecodeFTExchangeInto(s *DecodeScratch, buf []byte) (FTExchangePayload, error) {
+	r := &reader{buf: buf}
+	n, err := r.keyCount()
+	if err != nil {
+		return FTExchangePayload{}, err
+	}
+	s.keys = scratchSlice(s.keys, n)
+	r.readKeys(s.keys)
+	v, err := r.viewInto(s)
+	if err != nil {
+		return FTExchangePayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return FTExchangePayload{}, err
+	}
+	return FTExchangePayload{Keys: s.keys, View: v}, nil
+}
+
+// DecodeVerifyInto parses a VerifyPayload into the scratch.
+func DecodeVerifyInto(s *DecodeScratch, buf []byte) (VerifyPayload, error) {
+	r := &reader{buf: buf}
+	v, err := r.viewInto(s)
+	if err != nil {
+		return VerifyPayload{}, err
+	}
+	if err := r.done(); err != nil {
+		return VerifyPayload{}, err
+	}
+	return VerifyPayload{View: v}, nil
+}
+
+// DecodeHostInto parses a HostPayload into the scratch.
+func DecodeHostInto(s *DecodeScratch, buf []byte) (HostPayload, error) {
+	r := &reader{buf: buf}
+	n, err := r.keyCount()
+	if err != nil {
+		return HostPayload{}, err
+	}
+	s.keys = scratchSlice(s.keys, n)
+	r.readKeys(s.keys)
+	if err := r.done(); err != nil {
+		return HostPayload{}, err
+	}
+	return HostPayload{Keys: s.keys}, nil
 }
 
 // --- composite payloads ----------------------------------------------------
@@ -348,7 +497,13 @@ type ExchangePayload struct {
 
 // EncodeExchange serializes an ExchangePayload.
 func EncodeExchange(p ExchangePayload) []byte {
-	return AppendKeys(nil, p.Keys)
+	return AppendExchange(nil, p.Keys)
+}
+
+// AppendExchange appends an ExchangePayload encoding to buf; the
+// allocation-free form of EncodeExchange.
+func AppendExchange(buf []byte, keys []int64) []byte {
+	return AppendKeys(buf, keys)
 }
 
 // DecodeExchange parses an ExchangePayload.
@@ -374,7 +529,13 @@ type FTExchangePayload struct {
 
 // EncodeFTExchange serializes an FTExchangePayload.
 func EncodeFTExchange(p FTExchangePayload) ([]byte, error) {
-	buf := AppendKeys(nil, p.Keys)
+	return AppendFTExchange(nil, p)
+}
+
+// AppendFTExchange appends an FTExchangePayload encoding to buf; the
+// allocation-free form of EncodeFTExchange.
+func AppendFTExchange(buf []byte, p FTExchangePayload) ([]byte, error) {
+	buf = AppendKeys(buf, p.Keys)
 	return AppendView(buf, p.View)
 }
 
@@ -403,7 +564,13 @@ type VerifyPayload struct {
 
 // EncodeVerify serializes a VerifyPayload.
 func EncodeVerify(p VerifyPayload) ([]byte, error) {
-	return AppendView(nil, p.View)
+	return AppendVerify(nil, p)
+}
+
+// AppendVerify appends a VerifyPayload encoding to buf; the
+// allocation-free form of EncodeVerify.
+func AppendVerify(buf []byte, p VerifyPayload) ([]byte, error) {
+	return AppendView(buf, p.View)
 }
 
 // DecodeVerify parses a VerifyPayload.
@@ -425,7 +592,11 @@ type HostPayload struct {
 }
 
 // EncodeHost serializes a HostPayload.
-func EncodeHost(p HostPayload) []byte { return AppendKeys(nil, p.Keys) }
+func EncodeHost(p HostPayload) []byte { return AppendHost(nil, p.Keys) }
+
+// AppendHost appends a HostPayload encoding to buf; the
+// allocation-free form of EncodeHost.
+func AppendHost(buf []byte, keys []int64) []byte { return AppendKeys(buf, keys) }
 
 // DecodeHost parses a HostPayload.
 func DecodeHost(buf []byte) (HostPayload, error) {
