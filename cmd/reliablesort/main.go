@@ -6,9 +6,13 @@
 //	echo '10 8 3 9 4 2 7 5' | reliablesort
 //	reliablesort -desc -dim 3 numbers.txt
 //	reliablesort -stats numbers.txt
+//	reliablesort -obs.listen localhost:9141 -obs.linger 1m numbers.txt
 //
 // Input is whitespace-separated 64-bit integers; output is one key per
-// line in the requested order.
+// line in the requested order. With -obs.listen the process serves the
+// observability endpoints (/metrics Prometheus text, /metrics?json=1,
+// /debug/journal) while sorting, and -obs.linger keeps it alive after
+// the sort so the series can be scraped.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/reliablesort"
 )
 
@@ -36,8 +41,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	dim := fs.Int("dim", 0, "force hypercube dimension (0 = automatic)")
 	stats := fs.Bool("stats", false, "print run statistics to stderr")
 	timeout := fs.Duration("timeout", 30*time.Second, "absence-detection timeout")
+	obsListen := fs.String("obs.listen", "", "serve /metrics and /debug/journal on this address (e.g. localhost:9141)")
+	obsLinger := fs.Duration("obs.linger", 0, "keep serving the observability endpoints this long after the sort")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var observer *obs.Observer
+	if *obsListen != "" {
+		observer = obs.Default()
+		addr, err := obs.Serve(*obsListen, obs.DefaultRegistry(), observer.Journal())
+		if err != nil {
+			return fmt.Errorf("obs.listen: %w", err)
+		}
+		fmt.Fprintf(stderr, "observability endpoints on http://%s/metrics and /debug/journal\n", addr)
 	}
 
 	in := stdin
@@ -61,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Descending:  *desc,
 		Dim:         *dim,
 		RecvTimeout: *timeout,
+		Obs:         observer,
 	})
 	if err != nil {
 		return err
@@ -75,6 +93,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *stats {
 		fmt.Fprintf(stderr, "sorted %d keys on %d nodes × %d keys/node (%d padded); %d vticks, %d msgs, %d bytes\n",
 			len(keys), st.Nodes, st.BlockLen, st.Padded, st.Makespan, st.Msgs, st.Bytes)
+	}
+	if *obsListen != "" && *obsLinger > 0 {
+		fmt.Fprintf(stderr, "lingering %v for scrapes\n", *obsLinger)
+		time.Sleep(*obsLinger)
 	}
 	return nil
 }

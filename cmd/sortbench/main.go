@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,8 +40,18 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1989, "workload seed")
 	plotFlag := fs.Bool("plot", false, "also render ASCII charts of the figures")
 	maxProjDim := fs.Int("maxprojdim", 16, "largest cube dimension in fig7 projections")
+	obsListen := fs.String("obs.listen", "", "serve /metrics and /debug/journal on this address while the experiments run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *obsListen != "" {
+		// The simnet transports feed the process-wide default registry,
+		// so the endpoint sees every experiment's traffic counters.
+		addr, err := obs.Serve(*obsListen, obs.DefaultRegistry(), obs.Default().Journal())
+		if err != nil {
+			return fmt.Errorf("obs.listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "observability endpoints on http://%s/metrics and /debug/journal\n", addr)
 	}
 
 	dimList, err := parseDims(*dims)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypercube"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -30,6 +31,11 @@ type Options struct {
 	// SkipChecks disables the node's own assertions (used together
 	// with Tamper for malicious nodes).
 	SkipChecks bool
+	// Obs, when non-nil, receives stage/round spans, Φ evaluations,
+	// merge-split compare counts, and accusations. Recording reads the
+	// endpoint clock but never charges it; all Observer methods are
+	// nil-safe and allocation-free.
+	Obs *obs.Observer
 }
 
 // RunNR executes the unreliable block bitonic sort: blocks[id] is node

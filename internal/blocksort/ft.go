@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypercube"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -279,6 +280,9 @@ func (r *ftRunner) failAbsent(kind error, stage, iter, accused int, format strin
 }
 
 func (r *ftRunner) failEvidence(kind error, ev core.ErrorKind, stage, iter, accused int, format string, args ...any) error {
+	if accused >= 0 {
+		r.opts.Obs.Accusation(r.ep.ID(), stage, iter, accused, int64(r.ep.Clock()))
+	}
 	pe := &core.PredicateError{
 		Node:     r.ep.ID(),
 		Stage:    stage,
@@ -302,6 +306,12 @@ func (r *ftRunner) failEvidence(kind error, ev core.ErrorKind, stage, iter, accu
 	return pe
 }
 
+// phiCheck reports one constraint-predicate evaluation to the
+// observer. A no-op without one.
+func (r *ftRunner) phiCheck(p obs.Phi, stage, iter int, pass bool) {
+	r.opts.Obs.PhiCheck(p, r.ep.ID(), stage, iter, pass, int64(r.ep.Clock()))
+}
+
 func (r *ftRunner) run(block []int64) ([]int64, error) {
 	id := r.ep.ID()
 	topo := r.ep.Topology()
@@ -318,6 +328,8 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 	var prevSC hypercube.Subcube
 
 	for s := 0; s < n; s++ {
+		stageVT := int64(r.ep.Clock())
+		r.opts.Obs.StageBegin(id, s, false, stageVT)
 		sc, err := topo.HomeSubcube(s+1, id)
 		if err != nil {
 			return nil, fmt.Errorf("blocksort: %w", err)
@@ -326,12 +338,15 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 		view.reset(sc, r.m)
 		view.set(id, mine)
 		for j := s; j >= 0; j-- {
+			r.opts.Obs.RoundBegin(id, s, j, int64(r.ep.Clock()))
 			mine, err = r.exchange(view, mine, s, j)
 			if err != nil {
 				return nil, err
 			}
+			r.opts.Obs.RoundEnd(id, s, j, int64(r.ep.Clock()))
 		}
 		if !view.complete() && !r.opts.SkipChecks {
+			r.phiCheck(obs.PhiC, s, -1, false)
 			return nil, r.fail(core.ErrConsistency, s, -1,
 				"stage gather incomplete: mask %s", view.have.String())
 		}
@@ -339,14 +354,18 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 			// ProgressBlocks only reads, so the view's slots are passed
 			// directly rather than defensively copied.
 			r.ep.ChargeCompare(sc.Size() * r.m)
-			if err := ProgressBlocks(view.blocks, false); err != nil {
-				return nil, r.fail(core.ErrProgress, s, -1, "%v", err)
+			perr := ProgressBlocks(view.blocks, false)
+			r.phiCheck(obs.PhiP, s, -1, perr == nil)
+			if perr != nil {
+				return nil, r.fail(core.ErrProgress, s, -1, "%v", perr)
 			}
 			lo := prevSC.Start - sc.Start
 			r.halfBuf = view.flattenInto(r.halfBuf[:0], lo, lo+prevSC.Size())
 			r.ep.ChargeCompare(2 * len(prevFlat))
-			if err := core.Feasibility(prevFlat, r.halfBuf); err != nil {
-				return nil, r.fail(core.ErrFeasibility, s, -1, "%v", err)
+			ferr := core.Feasibility(prevFlat, r.halfBuf)
+			r.phiCheck(obs.PhiF, s, -1, ferr == nil)
+			if ferr != nil {
+				return nil, r.fail(core.ErrFeasibility, s, -1, "%v", ferr)
 			}
 		}
 		// prevFlat from the previous stage has been consumed above, so
@@ -354,10 +373,18 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 		r.prevBuf = view.flattenInto(r.prevBuf[:0], 0, sc.Size())
 		prevFlat = r.prevBuf
 		r.ep.ChargeKeyMove(len(prevFlat))
+		r.opts.Obs.StageEnd(id, s, false, stageVT, int64(r.ep.Clock()))
+		r.opts.Obs.PublishStage(obs.StageView{
+			Node: id, Stage: s,
+			SubcubeStart: sc.Start, SubcubeSize: sc.Size(),
+			BlockLen: r.m, Assembled: prevFlat,
+		})
 		prevSC = sc
 	}
 
 	// Final verification round.
+	finalVT := int64(r.ep.Clock())
+	r.opts.Obs.StageBegin(id, n, true, finalVT)
 	scAll, err := topo.HomeSubcube(n, id)
 	if err != nil {
 		return nil, fmt.Errorf("blocksort: %w", err)
@@ -366,24 +393,42 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 	view.reset(scAll, r.m)
 	view.set(id, mine)
 	for j := n - 1; j >= 0; j-- {
+		r.opts.Obs.RoundBegin(id, n, j, int64(r.ep.Clock()))
 		if err := r.verifyExchange(view, n-1, j); err != nil {
 			return nil, err
 		}
+		r.opts.Obs.RoundEnd(id, n, j, int64(r.ep.Clock()))
 	}
 	if !view.complete() && !r.opts.SkipChecks {
+		r.phiCheck(obs.PhiC, n, -1, false)
 		return nil, r.fail(core.ErrConsistency, n, -1,
 			"final gather incomplete: mask %s", view.have.String())
 	}
 	if !r.opts.SkipChecks {
 		r.ep.ChargeCompare(scAll.Size() * r.m)
-		if err := ProgressBlocks(view.blocks, true); err != nil {
-			return nil, r.fail(core.ErrProgress, n, -1, "%v", err)
+		perr := ProgressBlocks(view.blocks, true)
+		r.phiCheck(obs.PhiP, n, -1, perr == nil)
+		if perr != nil {
+			return nil, r.fail(core.ErrProgress, n, -1, "%v", perr)
 		}
 		r.halfBuf = view.flattenInto(r.halfBuf[:0], 0, scAll.Size())
 		r.ep.ChargeCompare(2 * len(prevFlat))
-		if err := core.Feasibility(prevFlat, r.halfBuf); err != nil {
-			return nil, r.fail(core.ErrFeasibility, n, -1, "%v", err)
+		ferr := core.Feasibility(prevFlat, r.halfBuf)
+		r.phiCheck(obs.PhiF, n, -1, ferr == nil)
+		if ferr != nil {
+			return nil, r.fail(core.ErrFeasibility, n, -1, "%v", ferr)
 		}
+	}
+	r.opts.Obs.StageEnd(id, n, true, finalVT, int64(r.ep.Clock()))
+	if r.opts.Obs != nil {
+		// Flatten explicitly rather than reusing halfBuf, which is
+		// stale when SkipChecks bypassed the final predicates.
+		r.halfBuf = view.flattenInto(r.halfBuf[:0], 0, scAll.Size())
+		r.opts.Obs.PublishStage(obs.StageView{
+			Node: id, Stage: n, Final: true,
+			SubcubeStart: scAll.Start, SubcubeSize: scAll.Size(),
+			BlockLen: r.m, Assembled: r.halfBuf,
+		})
 	}
 	return mine, nil
 }
@@ -440,6 +485,7 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 			return nil, fmt.Errorf("blocksort: %w", merr)
 		}
 		r.ep.ChargeCompare(compares)
+		r.opts.Obs.MergeCompares(compares)
 		r.ep.ChargeKeyMove(2 * r.m)
 		keep, give := lo, hi
 		if !ascending {
@@ -618,7 +664,9 @@ func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, po
 	if err != nil {
 		return fmt.Errorf("blocksort: %w", err)
 	}
-	if merr := view.mergeChecked(rv, expected); merr != nil {
+	merr := view.mergeChecked(rv, expected)
+	r.phiCheck(obs.PhiC, s, j, merr == nil)
+	if merr != nil {
 		return r.failFrom(core.ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/hypercube"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -63,6 +64,13 @@ type Options struct {
 	// Trace, when non-nil, receives a TraceEvent at the end of every
 	// stage and after the final verification.
 	Trace func(ev TraceEvent)
+	// Obs, when non-nil, receives stage/round spans, Φ evaluations,
+	// accusations, and stage views. Recording reads the endpoint clock
+	// but never charges it, so virtual-time results are identical with
+	// and without an observer; all Observer methods are nil-safe and
+	// allocation-free, so the steady-state exchange path stays
+	// zero-allocation.
+	Obs *obs.Observer
 
 	// The remaining flags are ablation switches used to quantify how
 	// much each mechanism of the paradigm contributes (DESIGN.md §5).
@@ -140,6 +148,9 @@ func (r *sftRunner) failAbsent(kind error, stage, iter, accused int, format stri
 // diagnostic channel of the paradigm — and returns the error so the
 // node fail-stops.
 func (r *sftRunner) failEvidence(kind error, ev ErrorKind, stage, iter, accused int, format string, args ...any) error {
+	if accused >= 0 {
+		r.opts.Obs.Accusation(r.ep.ID(), stage, iter, accused, int64(r.ep.Clock()))
+	}
 	pe := &PredicateError{
 		Node:     r.ep.ID(),
 		Stage:    stage,
@@ -165,6 +176,12 @@ func (r *sftRunner) failEvidence(kind error, ev ErrorKind, stage, iter, accused 
 	return pe
 }
 
+// phiCheck reports one constraint-predicate evaluation to the
+// observer. A no-op without one.
+func (r *sftRunner) phiCheck(p obs.Phi, stage, iter int, pass bool) {
+	r.opts.Obs.PhiCheck(p, r.ep.ID(), stage, iter, pass, int64(r.ep.Clock()))
+}
+
 func (r *sftRunner) run(key int64) (int64, error) {
 	id := r.ep.ID()
 	topo := r.ep.Topology()
@@ -180,6 +197,8 @@ func (r *sftRunner) run(key int64) (int64, error) {
 	var prevSC hypercube.Subcube
 
 	for s := 0; s < n; s++ {
+		stageVT := int64(r.ep.Clock())
+		r.opts.Obs.StageBegin(id, s, false, stageVT)
 		sc, err := topo.HomeSubcube(s+1, id)
 		if err != nil {
 			return 0, fmt.Errorf("core: %w", err)
@@ -188,12 +207,15 @@ func (r *sftRunner) run(key int64) (int64, error) {
 		view.reset(sc)
 		view.set(id, a) // seed LBS with this stage's starting value
 		for j := s; j >= 0; j-- {
+			r.opts.Obs.RoundBegin(id, s, j, int64(r.ep.Clock()))
 			a, err = r.ftExchange(view, a, s, j)
 			if err != nil {
 				return 0, err
 			}
+			r.opts.Obs.RoundEnd(id, s, j, int64(r.ep.Clock()))
 		}
 		if !view.complete() && !r.opts.SkipChecks {
+			r.phiCheck(obs.PhiC, s, -1, false)
 			return 0, r.fail(ErrConsistency, s, -1,
 				"stage gather incomplete: mask %s", view.have.String())
 		}
@@ -203,19 +225,29 @@ func (r *sftRunner) run(key int64) (int64, error) {
 			// output, Φ_F over this node's half against LLBS. The
 			// charges reflect Lemma 8's O(2^i) bound.
 			r.ep.ChargeCompare(len(assembled))
-			if err := Progress(assembled, false); err != nil {
-				return 0, r.fail(ErrProgress, s, -1, "%v", err)
+			perr := Progress(assembled, false)
+			r.phiCheck(obs.PhiP, s, -1, perr == nil)
+			if perr != nil {
+				return 0, r.fail(ErrProgress, s, -1, "%v", perr)
 			}
 			myHalf := halfContaining(assembled, sc, prevSC)
 			r.ep.ChargeCompare(2 * len(prevSeq))
-			if err := Feasibility(prevSeq, myHalf); err != nil {
-				return 0, r.fail(ErrFeasibility, s, -1, "%v", err)
+			ferr := Feasibility(prevSeq, myHalf)
+			r.phiCheck(obs.PhiF, s, -1, ferr == nil)
+			if ferr != nil {
+				return 0, r.fail(ErrFeasibility, s, -1, "%v", ferr)
 			}
 		}
 		r.ep.ChargeKeyMove(len(assembled)) // LLBS update
 		if r.opts.Trace != nil {
 			r.opts.Trace(TraceEvent{Node: id, Stage: s, Subcube: sc, Assembled: assembled})
 		}
+		r.opts.Obs.StageEnd(id, s, false, stageVT, int64(r.ep.Clock()))
+		r.opts.Obs.PublishStage(obs.StageView{
+			Node: id, Stage: s,
+			SubcubeStart: sc.Start, SubcubeSize: sc.Size(),
+			BlockLen: 1, Assembled: assembled,
+		})
 		prevSeq = assembled
 		prevSC = sc
 	}
@@ -227,6 +259,8 @@ func (r *sftRunner) run(key int64) (int64, error) {
 
 	// Final verification: a pure exchange of the final sorted values
 	// over the whole cube, then the last bit_compare.
+	finalVT := int64(r.ep.Clock())
+	r.opts.Obs.StageBegin(id, n, true, finalVT)
 	scAll, err := topo.HomeSubcube(n, id)
 	if err != nil {
 		return 0, fmt.Errorf("core: %w", err)
@@ -235,28 +269,41 @@ func (r *sftRunner) run(key int64) (int64, error) {
 	view.reset(scAll)
 	view.set(id, a)
 	for j := n - 1; j >= 0; j-- {
+		r.opts.Obs.RoundBegin(id, n, j, int64(r.ep.Clock()))
 		if err := r.verifyExchange(view, n-1, j); err != nil {
 			return 0, err
 		}
+		r.opts.Obs.RoundEnd(id, n, j, int64(r.ep.Clock()))
 	}
 	if !view.complete() && !r.opts.SkipChecks {
+		r.phiCheck(obs.PhiC, n, -1, false)
 		return 0, r.fail(ErrConsistency, n, -1,
 			"final gather incomplete: mask %s", view.have.String())
 	}
 	finalSeq := view.values()
 	if !r.opts.SkipChecks {
 		r.ep.ChargeCompare(len(finalSeq))
-		if err := Progress(finalSeq, true); err != nil {
-			return 0, r.fail(ErrProgress, n, -1, "%v", err)
+		perr := Progress(finalSeq, true)
+		r.phiCheck(obs.PhiP, n, -1, perr == nil)
+		if perr != nil {
+			return 0, r.fail(ErrProgress, n, -1, "%v", perr)
 		}
 		r.ep.ChargeCompare(2 * len(prevSeq))
-		if err := Feasibility(prevSeq, finalSeq); err != nil {
-			return 0, r.fail(ErrFeasibility, n, -1, "%v", err)
+		ferr := Feasibility(prevSeq, finalSeq)
+		r.phiCheck(obs.PhiF, n, -1, ferr == nil)
+		if ferr != nil {
+			return 0, r.fail(ErrFeasibility, n, -1, "%v", ferr)
 		}
 	}
 	if r.opts.Trace != nil {
 		r.opts.Trace(TraceEvent{Node: id, Stage: n, Final: true, Subcube: scAll, Assembled: finalSeq})
 	}
+	r.opts.Obs.StageEnd(id, n, true, finalVT, int64(r.ep.Clock()))
+	r.opts.Obs.PublishStage(obs.StageView{
+		Node: id, Stage: n, Final: true,
+		SubcubeStart: scAll.Start, SubcubeSize: scAll.Size(),
+		BlockLen: 1, Assembled: finalSeq,
+	})
 	return a, nil
 }
 
@@ -549,8 +596,10 @@ func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, 
 	if r.opts.TrustSenderMasks {
 		// Ablation: believe any claimed mask; only overlap conflicts
 		// are still checked.
-		if err := view.mergeTrusting(rv); err != nil {
-			return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, err)
+		merr := view.mergeTrusting(rv)
+		r.phiCheck(obs.PhiC, s, j, merr == nil)
+		if merr != nil {
+			return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)
 		}
 		return nil
 	}
@@ -558,8 +607,10 @@ func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, 
 	if eErr != nil {
 		return fmt.Errorf("core: %w", eErr)
 	}
-	if err := view.mergeChecked(rv, expected); err != nil {
-		return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, err)
+	merr := view.mergeChecked(rv, expected)
+	r.phiCheck(obs.PhiC, s, j, merr == nil)
+	if merr != nil {
+		return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)
 	}
 	return nil
 }

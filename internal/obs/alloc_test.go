@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestRecordingZeroAllocs pins every record-time entry point at zero
+// allocations per operation. These are the calls the steady-state
+// send/receive path makes; if any of them allocates, attaching an
+// Observer would break the PR-2 zero-allocation guarantee.
+func TestRecordingZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMetrics(reg)
+	o := &Observer{M: m, J: NewJournal(64)}
+	h := reg.Histogram("alloc_h", "", DefaultVTickBuckets())
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter-inc", func() { m.MergeCompares.Inc() }},
+		{"counter-add", func() { m.MergeCompares.Add(3) }},
+		{"gauge-set", func() { reg.Gauge("alloc_g", "").Set(7) }},
+		{"histogram-observe", func() { h.Observe(123456) }},
+		{"record-message", func() { m.RecordMessage(wire.KindFTExchange, 96) }},
+		{"journal-append", func() { o.J.Append(Event{Kind: EvRoundBegin, Node: 1}) }},
+		{"stage-begin", func() { o.StageBegin(1, 2, false, 100) }},
+		{"stage-end", func() { o.StageEnd(1, 2, false, 100, 400) }},
+		{"round-span", func() { o.RoundBegin(1, 2, 0, 100); o.RoundEnd(1, 2, 0, 200) }},
+		{"phi-check", func() { o.PhiCheck(PhiC, 1, 2, 0, true, 150) }},
+		{"accusation", func() { o.Accusation(1, 2, 0, 3, 160) }},
+		{"merge-compares", func() { o.MergeCompares(31) }},
+		{"attempt-span", func() { o.AttemptBegin(1, 3); o.AttemptEnd(1, 3, 500, true) }},
+		{"quarantine", func() { o.Quarantine(4, 1) }},
+		{"backoff", func() { o.Backoff(time.Millisecond) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm up so lazy runtime state doesn't count.
+			for i := 0; i < 8; i++ {
+				tc.fn()
+			}
+			if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+				t.Fatalf("%s: %v allocs/op, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	j := NewJournal(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Append(Event{Kind: EvRoundBegin, Node: 1, Stage: 2, Iter: 3, VTicks: int64(i)})
+	}
+}
+
+func BenchmarkPhiCheck(b *testing.B) {
+	o := New(NewRegistry(), 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.PhiCheck(PhiP, 1, 2, 0, true, int64(i))
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): # HELP and # TYPE lines per
+// family, one sample line per series, histograms expanded into
+// cumulative _bucket{le=...} samples plus _sum and _count. Families
+// are sorted by name and series by label key, so output is
+// deterministic given the same counter values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.typ {
+	case typeCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.key, s.c.Value())
+		return err
+	case typeGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.key, s.g.Value())
+		return err
+	case typeHistogram:
+		return writeHistogram(w, f.name, s)
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket expansion. The le label
+// is appended to the series' own labels.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.h
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, bucketKey(s.key, fmt.Sprintf("%d", bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketKey(s.key, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, s.key, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.key, h.Count())
+	return err
+}
+
+// bucketKey merges an le="..." label into an existing rendered label
+// set.
+func bucketKey(key, le string) string {
+	if key == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(key, "}"), le)
+}
+
+// SnapshotSeries is one exported series in a JSON snapshot.
+type SnapshotSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value,omitempty"`
+	// Histogram-only fields.
+	Buckets []SnapshotBucket `json:"buckets,omitempty"`
+	Sum     int64            `json:"sum,omitempty"`
+	Count   int64            `json:"count,omitempty"`
+}
+
+// SnapshotBucket is one cumulative histogram bucket; UpperBound is 0
+// with Inf=true for the +Inf bucket.
+type SnapshotBucket struct {
+	UpperBound int64 `json:"le"`
+	Inf        bool  `json:"inf,omitempty"`
+	Count      int64 `json:"count"`
+}
+
+// SnapshotFamily is one metric family in a JSON snapshot.
+type SnapshotFamily struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Series []SnapshotSeries `json:"series"`
+}
+
+// Snapshot returns a point-in-time copy of every registered metric,
+// in the same deterministic order as WritePrometheus.
+func (r *Registry) Snapshot() []SnapshotFamily {
+	fams := r.sortedFamilies()
+	out := make([]SnapshotFamily, 0, len(fams))
+	for _, f := range fams {
+		sf := SnapshotFamily{Name: f.name, Help: f.help, Type: f.typ.String()}
+		for _, s := range f.series {
+			ss := SnapshotSeries{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = s.c.Value()
+			case typeGauge:
+				ss.Value = s.g.Value()
+			case typeHistogram:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, SnapshotBucket{UpperBound: bound, Count: cum})
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				ss.Buckets = append(ss.Buckets, SnapshotBucket{Inf: true, Count: cum})
+				ss.Sum = s.h.Sum()
+				ss.Count = s.h.Count()
+			}
+			sf.Series = append(sf.Series, ss)
+		}
+		out = append(out, sf)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestJournalAppendAndOrder(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Append(Event{Kind: EvRoundBegin, Iter: int32(i)})
+	}
+	evs := j.Events()
+	if len(evs) != 5 || j.Len() != 5 || j.Total() != 5 || j.Dropped() != 0 {
+		t.Fatalf("len/total/dropped = %d/%d/%d, want 5/5/0", j.Len(), j.Total(), j.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.Iter != int32(i) {
+			t.Fatalf("event %d out of order: seq=%d iter=%d", i, ev.Seq, ev.Iter)
+		}
+		if ev.Wall == 0 {
+			t.Fatalf("event %d missing wall stamp", i)
+		}
+	}
+}
+
+func TestJournalWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Kind: EvRoundBegin, Iter: int32(i)})
+	}
+	if j.Len() != 4 || j.Total() != 10 || j.Dropped() != 6 {
+		t.Fatalf("len/total/dropped = %d/%d/%d, want 4/10/6", j.Len(), j.Total(), j.Dropped())
+	}
+	evs := j.Events()
+	for i, ev := range evs {
+		want := int32(6 + i) // oldest retained is event 6
+		if ev.Iter != want || ev.Seq != uint64(want) {
+			t.Fatalf("event %d: seq=%d iter=%d, want %d", i, ev.Seq, ev.Iter, want)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Append(Event{Kind: EvBackoff})
+	j.SetSink(slog.Default())
+	if j.Events() != nil || j.Len() != 0 || j.Total() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal should be inert")
+	}
+}
+
+func TestJournalSlogSink(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(4)
+	j.SetSink(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	j.Append(Event{Kind: EvPhiCheck, Label: "P", Node: 3, Stage: 1, Iter: 0, Pass: true, VTicks: 77})
+	out := buf.String()
+	for _, want := range []string{"phi-check", "label=P", "node=3", "pass=true", "vticks=77"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sink output missing %q:\n%s", want, out)
+		}
+	}
+	// Detach and confirm silence.
+	j.SetSink(nil)
+	buf.Reset()
+	j.Append(Event{Kind: EvBackoff})
+	if buf.Len() != 0 {
+		t.Fatalf("detached sink still received output: %s", buf.String())
+	}
+}

@@ -1,0 +1,156 @@
+// Package obs is the repository's unified observability layer: a
+// process-wide but injectable core of metrics, protocol spans, and a
+// bounded event journal, with Prometheus and JSON exporters and an
+// HTTP introspection endpoint.
+//
+// The paper's whole argument is that visibility into the running
+// algorithm — the constraint predicate Φ = (Φ_P, Φ_F, Φ_C) — *is* the
+// fault tolerance. This package turns the same visibility outward:
+// every Φ evaluation, compare-exchange round, stage boundary, and
+// recovery attempt can be counted, timed (in both virtual ticks and
+// wall time), journaled, and scraped, without perturbing the quantities
+// the paper measures.
+//
+// Design constraints, in order:
+//
+//  1. Recording must be allocation-free. The PR-2 steady-state message
+//     path performs zero allocations per exchange, and attaching an
+//     Observer must keep it that way: counters and gauges are single
+//     atomic adds, histograms are an atomic add into a fixed bucket,
+//     and journal events are fixed-size structs copied into a
+//     preallocated ring under a mutex.
+//  2. Recording must not touch virtual time. Observability reads
+//     endpoint clocks; it never charges them, so every virtual-tick
+//     series (vticks, vcomm, vcomp, msgs, wirebytes) is bit-identical
+//     with and without an Observer attached.
+//  3. Everything is injectable. Registries, journals, and observers
+//     are plain values; Default()/DefaultMetrics() provide the
+//     process-wide instance the commands serve over HTTP, but tests
+//     and libraries can build private ones.
+//
+// The pieces:
+//
+//   - Registry (registry.go): named counters, gauges, and fixed-bucket
+//     histograms, exported as Prometheus text and JSON (export.go).
+//   - Journal (journal.go): a bounded ring buffer of protocol Events
+//     with an optional slog sink.
+//   - Observer (observer.go): the façade protocol code records
+//     through — stage/round spans, Φ checks, accusations, recovery
+//     attempts — plus the stage-view stream internal/trace subscribes
+//     to. All methods are nil-receiver safe, so un-instrumented runs
+//     pay a single predictable branch.
+//   - Handler/Serve (http.go): /metrics and /debug/journal.
+package obs
+
+import "fmt"
+
+// Phi identifies one of the paper's three constraint predicates.
+type Phi uint8
+
+const (
+	// PhiP is Φ_P, the progress (shape) predicate.
+	PhiP Phi = iota + 1
+	// PhiF is Φ_F, the feasibility (permutation) predicate.
+	PhiF
+	// PhiC is Φ_C, the consistency (cross-copy agreement) predicate.
+	PhiC
+)
+
+// phiNames is indexed by Phi.
+var phiNames = [...]string{PhiP: "P", PhiF: "F", PhiC: "C"}
+
+// String returns the predicate's short name ("P", "F", "C").
+func (p Phi) String() string {
+	if int(p) < len(phiNames) && phiNames[p] != "" {
+		return phiNames[p]
+	}
+	return fmt.Sprintf("phi(%d)", uint8(p))
+}
+
+// EventKind discriminates journal events.
+type EventKind uint8
+
+const (
+	// EvStageBegin/EvStageEnd bracket one bitonic stage (or the final
+	// verification round, Label "final-verify") on one node.
+	EvStageBegin EventKind = iota + 1
+	EvStageEnd
+	// EvRoundBegin/EvRoundEnd bracket one compare-exchange (or
+	// merge-split) round on one node.
+	EvRoundBegin
+	EvRoundEnd
+	// EvPhiCheck is one evaluation of a constraint predicate; Pass
+	// records the verdict and Label names the predicate.
+	EvPhiCheck
+	// EvAccusation is a node implicating a peer (Aux = accused label).
+	EvAccusation
+	// EvSpanBegin/EvSpanEnd bracket a labeled phase outside the bitonic
+	// schedule (host upload/sort/download, run-level phases).
+	EvSpanBegin
+	EvSpanEnd
+	// EvAttemptBegin/EvAttemptEnd bracket one recovery attempt
+	// (Stage = attempt index, Iter = cube dimension; on end Aux = the
+	// attempt's virtual-time cost and Pass = verified).
+	EvAttemptBegin
+	EvAttemptEnd
+	// EvQuarantine records a persistent suspect being dropped
+	// (Node = physical label, Stage = attempt index).
+	EvQuarantine
+	// EvBackoff records a between-attempt wait (Aux = nanoseconds).
+	EvBackoff
+)
+
+// eventKindNames is indexed by EventKind.
+var eventKindNames = [...]string{
+	EvStageBegin:   "stage-begin",
+	EvStageEnd:     "stage-end",
+	EvRoundBegin:   "round-begin",
+	EvRoundEnd:     "round-end",
+	EvPhiCheck:     "phi-check",
+	EvAccusation:   "accusation",
+	EvSpanBegin:    "span-begin",
+	EvSpanEnd:      "span-end",
+	EvAttemptBegin: "attempt-begin",
+	EvAttemptEnd:   "attempt-end",
+	EvQuarantine:   "quarantine",
+	EvBackoff:      "backoff",
+}
+
+// String returns the kind's kebab-case name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one fixed-size journal record. Producers fill the fields
+// relevant to the Kind and leave the rest zero; Seq and Wall are
+// stamped by the Journal at append time.
+type Event struct {
+	// Seq is the journal-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// Kind discriminates the event.
+	Kind EventKind `json:"kind"`
+	// Label names the span or predicate ("stage", "final-verify",
+	// "round", "P", "upload", ...). Always a constant string, so
+	// assigning it allocates nothing.
+	Label string `json:"label,omitempty"`
+	// Node is the acting node's label (-1 for the host/supervisor).
+	Node int32 `json:"node"`
+	// Stage and Iter locate the event in the bitonic schedule (or the
+	// attempt index/dimension for recovery events). -1 when not
+	// applicable.
+	Stage int32 `json:"stage"`
+	Iter  int32 `json:"iter"`
+	// Pass is the verdict for EvPhiCheck and EvAttemptEnd.
+	Pass bool `json:"pass,omitempty"`
+	// VTicks is the producer's virtual clock when the event fired.
+	VTicks int64 `json:"vticks"`
+	// Wall is the wall-clock time in Unix nanoseconds, stamped at
+	// append.
+	Wall int64 `json:"wall"`
+	// Aux is a kind-specific scalar: accused node for EvAccusation,
+	// attempt cost for EvAttemptEnd, nanoseconds for EvBackoff.
+	Aux int64 `json:"aux,omitempty"`
+}

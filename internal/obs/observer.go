@@ -1,0 +1,397 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Metrics bundles the pre-registered instruments the protocol layers
+// record into. Resolving instruments once at construction keeps record
+// sites down to a single atomic add — no name lookups, no maps, no
+// allocation.
+type Metrics struct {
+	// MsgsTotal and BytesTotal count transport traffic by message kind
+	// (indexed by wire.Kind, like the transports' own counters).
+	MsgsTotal  [8]*Counter
+	BytesTotal [8]*Counter
+
+	// PhiPass and PhiFail count constraint-predicate evaluations by
+	// predicate (indexed by Phi).
+	PhiPass [4]*Counter
+	PhiFail [4]*Counter
+
+	// MergeCompares counts key comparisons charged by merge-split and
+	// bit_compare work — the block sort's dominant computation.
+	MergeCompares *Counter
+
+	// Accusations counts ERROR signals that implicate a specific peer.
+	Accusations *Counter
+
+	// Stages and Rounds count completed bitonic stages and
+	// compare-exchange rounds across all nodes.
+	Stages *Counter
+	Rounds *Counter
+
+	// StageVTicks is the per-node virtual-time cost of completed
+	// stages.
+	StageVTicks *Histogram
+
+	// RecoveryAttempts..RecoveryBackoffNanos are the supervisor's
+	// telemetry: total attempts, retries (attempts after the first),
+	// verified completions, quarantines, the virtual time burned by
+	// failed attempts (the ROADMAP's recovery-cost series), and
+	// wall-clock backoff.
+	RecoveryAttempts     *Counter
+	RecoveryRetries      *Counter
+	RecoveryVerified     *Counter
+	RecoveryQuarantines  *Counter
+	RecoveryWastedVTicks *Counter
+	RecoveryBackoffNanos *Counter
+}
+
+// NewMetrics registers the standard instrument set on reg and returns
+// the bundle.
+func NewMetrics(reg *Registry) *Metrics {
+	m := &Metrics{}
+	for k := wire.KindExchange; k <= wire.KindError; k++ {
+		m.MsgsTotal[k] = reg.Counter("sort_msgs_total",
+			"Messages sent, by wire kind.", Label{"kind", k.String()})
+		m.BytesTotal[k] = reg.Counter("sort_wire_bytes_total",
+			"Wire bytes sent, by message kind.", Label{"kind", k.String()})
+	}
+	for _, phi := range []Phi{PhiP, PhiF, PhiC} {
+		m.PhiPass[phi] = reg.Counter("sort_phi_checks_total",
+			"Constraint predicate evaluations, by predicate and verdict.",
+			Label{"phi", phi.String()}, Label{"result", "pass"})
+		m.PhiFail[phi] = reg.Counter("sort_phi_checks_total",
+			"Constraint predicate evaluations, by predicate and verdict.",
+			Label{"phi", phi.String()}, Label{"result", "fail"})
+	}
+	m.MergeCompares = reg.Counter("sort_merge_compares_total",
+		"Key comparisons charged by merge-split and bit_compare work.")
+	m.Accusations = reg.Counter("sort_accusations_total",
+		"ERROR signals implicating a specific peer.")
+	m.Stages = reg.Counter("sort_stages_total",
+		"Completed bitonic stages across all nodes (final verification included).")
+	m.Rounds = reg.Counter("sort_rounds_total",
+		"Completed compare-exchange (merge-split) rounds across all nodes.")
+	m.StageVTicks = reg.Histogram("sort_stage_vticks",
+		"Per-node virtual-time cost of completed stages, in ticks.",
+		DefaultVTickBuckets())
+	m.RecoveryAttempts = reg.Counter("recovery_attempts_total",
+		"Sort attempts driven by the recovery supervisor.")
+	m.RecoveryRetries = reg.Counter("recovery_retries_total",
+		"Recovery attempts after the first (retries and quarantined re-runs).")
+	m.RecoveryVerified = reg.Counter("recovery_verified_total",
+		"Supervised runs that ended with a verified result.")
+	m.RecoveryQuarantines = reg.Counter("recovery_quarantines_total",
+		"Nodes quarantined for persistent accusations.")
+	m.RecoveryWastedVTicks = reg.Counter("recovery_wasted_vticks_total",
+		"Virtual time burned by failed attempts (the recovery cost series).")
+	m.RecoveryBackoffNanos = reg.Counter("recovery_backoff_nanos_total",
+		"Wall-clock nanoseconds spent in between-attempt backoff.")
+	return m
+}
+
+// RecordMessage counts one sent message of the given kind and encoded
+// size. Nil-safe and allocation-free; the transports call this on
+// every send.
+func (m *Metrics) RecordMessage(kind wire.Kind, bytes int) {
+	if m == nil || int(kind) >= len(m.MsgsTotal) {
+		return
+	}
+	m.MsgsTotal[kind].Inc()
+	m.BytesTotal[kind].Add(int64(bytes))
+}
+
+var (
+	defaultMetricsOnce sync.Once
+	defaultMetrics     *Metrics
+	defaultObsOnce     sync.Once
+	defaultObs         *Observer
+)
+
+// DefaultMetrics returns the process-wide Metrics bundle, registered
+// on DefaultRegistry. The transports record message traffic here when
+// no explicit bundle is injected.
+func DefaultMetrics() *Metrics {
+	defaultMetricsOnce.Do(func() { defaultMetrics = NewMetrics(defaultRegistry) })
+	return defaultMetrics
+}
+
+// Default returns the process-wide Observer: DefaultMetrics plus a
+// DefaultJournalCap journal, on DefaultRegistry. This is what the
+// commands' -obs.listen endpoint serves.
+func Default() *Observer {
+	defaultObsOnce.Do(func() {
+		defaultObs = &Observer{M: DefaultMetrics(), J: NewJournal(DefaultJournalCap)}
+	})
+	return defaultObs
+}
+
+// StageView is the verified assembled sequence a node holds at the end
+// of a stage — the paper's LBS — published on the unified event stream
+// for subscribers such as internal/trace. Assembled aliases the
+// producer's scratch and is valid only for the duration of the
+// callback: subscribers that retain it must copy.
+type StageView struct {
+	// Node is the reporting node.
+	Node int
+	// Stage is the completed stage index (the cube dimension for the
+	// final verification round).
+	Stage int
+	// Final marks the final verification round.
+	Final bool
+	// SubcubeStart and SubcubeSize locate the home subcube the
+	// sequence covers.
+	SubcubeStart int
+	SubcubeSize  int
+	// BlockLen is the keys-per-slot width (1 for the scalar sort).
+	BlockLen int
+	// Assembled is the gathered verified sequence.
+	Assembled []int64
+}
+
+// StageSubscriber receives stage views from the unified event stream.
+type StageSubscriber interface {
+	OnStageView(v StageView)
+}
+
+// Observer is the façade protocol code records through: metrics,
+// journal spans, and the stage-view stream. A single Observer is
+// shared by every node of a run (its parts are concurrency-safe).
+// All methods are nil-receiver safe so un-instrumented call sites pay
+// one branch and nothing else.
+type Observer struct {
+	// M receives counters and histograms; nil disables metrics.
+	M *Metrics
+	// J receives span and check events; nil disables the journal.
+	J *Journal
+
+	// mu guards subs; subscription happens at setup, publishing on the
+	// protocol's stage boundaries (not per-message), so a read lock per
+	// stage is cheap.
+	mu   sync.RWMutex
+	subs []StageSubscriber
+}
+
+// New returns an Observer with a fresh Metrics bundle on reg and a
+// journal of the given capacity (DefaultJournalCap when <= 0).
+func New(reg *Registry, journalCap int) *Observer {
+	return &Observer{M: NewMetrics(reg), J: NewJournal(journalCap)}
+}
+
+// Subscribe registers a stage-view subscriber.
+func (o *Observer) Subscribe(s StageSubscriber) {
+	if o == nil || s == nil {
+		return
+	}
+	o.mu.Lock()
+	o.subs = append(o.subs, s)
+	o.mu.Unlock()
+}
+
+// PublishStage fans a stage view out to all subscribers.
+func (o *Observer) PublishStage(v StageView) {
+	if o == nil {
+		return
+	}
+	o.mu.RLock()
+	subs := o.subs
+	o.mu.RUnlock()
+	for _, s := range subs {
+		s.OnStageView(v)
+	}
+}
+
+// Journal returns the observer's journal (nil for a nil observer).
+func (o *Observer) Journal() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.J
+}
+
+// Metrics returns the observer's metrics bundle (nil for a nil
+// observer).
+func (o *Observer) Metrics() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.M
+}
+
+// StageBegin records the start of stage stage on node node at virtual
+// time vticks. Label "final-verify" replaces "stage" when final.
+func (o *Observer) StageBegin(node, stage int, final bool, vticks int64) {
+	if o == nil {
+		return
+	}
+	label := "stage"
+	if final {
+		label = "final-verify"
+	}
+	o.J.Append(Event{Kind: EvStageBegin, Label: label,
+		Node: int32(node), Stage: int32(stage), Iter: -1, VTicks: vticks})
+}
+
+// StageEnd records the completion of a stage, observing its
+// virtual-time cost (endVT-beginVT) in the stage histogram.
+func (o *Observer) StageEnd(node, stage int, final bool, beginVT, endVT int64) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.Stages.Inc()
+		o.M.StageVTicks.Observe(endVT - beginVT)
+	}
+	label := "stage"
+	if final {
+		label = "final-verify"
+	}
+	o.J.Append(Event{Kind: EvStageEnd, Label: label,
+		Node: int32(node), Stage: int32(stage), Iter: -1,
+		VTicks: endVT, Aux: endVT - beginVT})
+}
+
+// RoundBegin records the start of the (stage, iter) compare-exchange
+// round on node node.
+func (o *Observer) RoundBegin(node, stage, iter int, vticks int64) {
+	if o == nil {
+		return
+	}
+	o.J.Append(Event{Kind: EvRoundBegin, Label: "round",
+		Node: int32(node), Stage: int32(stage), Iter: int32(iter), VTicks: vticks})
+}
+
+// RoundEnd records the completion of a compare-exchange round.
+func (o *Observer) RoundEnd(node, stage, iter int, vticks int64) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.Rounds.Inc()
+	}
+	o.J.Append(Event{Kind: EvRoundEnd, Label: "round",
+		Node: int32(node), Stage: int32(stage), Iter: int32(iter), VTicks: vticks})
+}
+
+// PhiCheck records one evaluation of constraint predicate phi.
+func (o *Observer) PhiCheck(phi Phi, node, stage, iter int, pass bool, vticks int64) {
+	if o == nil {
+		return
+	}
+	if o.M != nil && int(phi) < len(o.M.PhiPass) {
+		if pass {
+			o.M.PhiPass[phi].Inc()
+		} else {
+			o.M.PhiFail[phi].Inc()
+		}
+	}
+	o.J.Append(Event{Kind: EvPhiCheck, Label: phi.String(),
+		Node: int32(node), Stage: int32(stage), Iter: int32(iter),
+		Pass: pass, VTicks: vticks})
+}
+
+// Accusation records node implicating accused at (stage, iter).
+func (o *Observer) Accusation(node, stage, iter, accused int, vticks int64) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.Accusations.Inc()
+	}
+	o.J.Append(Event{Kind: EvAccusation,
+		Node: int32(node), Stage: int32(stage), Iter: int32(iter),
+		VTicks: vticks, Aux: int64(accused)})
+}
+
+// MergeCompares counts n key comparisons of merge-split/bit_compare
+// work.
+func (o *Observer) MergeCompares(n int) {
+	if o == nil || o.M == nil {
+		return
+	}
+	o.M.MergeCompares.Add(int64(n))
+}
+
+// SpanBegin records the start of a labeled phase outside the bitonic
+// schedule (host upload/sort/download and similar). label must be a
+// constant string.
+func (o *Observer) SpanBegin(label string, node int, vticks int64) {
+	if o == nil {
+		return
+	}
+	o.J.Append(Event{Kind: EvSpanBegin, Label: label,
+		Node: int32(node), Stage: -1, Iter: -1, VTicks: vticks})
+}
+
+// SpanEnd records the end of a labeled phase.
+func (o *Observer) SpanEnd(label string, node int, vticks int64) {
+	if o == nil {
+		return
+	}
+	o.J.Append(Event{Kind: EvSpanEnd, Label: label,
+		Node: int32(node), Stage: -1, Iter: -1, VTicks: vticks})
+}
+
+// AttemptBegin records the start of recovery attempt attempt on a
+// cube of dimension dim.
+func (o *Observer) AttemptBegin(attempt, dim int) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.RecoveryAttempts.Inc()
+		if attempt > 0 {
+			o.M.RecoveryRetries.Inc()
+		}
+	}
+	o.J.Append(Event{Kind: EvAttemptBegin, Label: "attempt",
+		Node: -1, Stage: int32(attempt), Iter: int32(dim)})
+}
+
+// AttemptEnd records the outcome of a recovery attempt: its
+// virtual-time cost and whether it produced a verified result. Failed
+// attempts accumulate into the wasted-vticks counter.
+func (o *Observer) AttemptEnd(attempt, dim int, costVT int64, verified bool) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		if verified {
+			o.M.RecoveryVerified.Inc()
+		} else {
+			o.M.RecoveryWastedVTicks.Add(costVT)
+		}
+	}
+	o.J.Append(Event{Kind: EvAttemptEnd, Label: "attempt",
+		Node: -1, Stage: int32(attempt), Iter: int32(dim),
+		Pass: verified, VTicks: costVT, Aux: costVT})
+}
+
+// Quarantine records physical node node being dropped after attempt
+// attempt.
+func (o *Observer) Quarantine(node, attempt int) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.RecoveryQuarantines.Inc()
+	}
+	o.J.Append(Event{Kind: EvQuarantine,
+		Node: int32(node), Stage: int32(attempt), Iter: -1})
+}
+
+// Backoff records a between-attempt wait.
+func (o *Observer) Backoff(d time.Duration) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.RecoveryBackoffNanos.Add(int64(d))
+	}
+	o.J.Append(Event{Kind: EvBackoff, Node: -1, Stage: -1, Iter: -1, Aux: int64(d)})
+}

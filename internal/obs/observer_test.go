@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestObserverNilSafe(t *testing.T) {
+	var o *Observer
+	// Every method on a nil observer must be a no-op, since protocol
+	// code calls them unconditionally.
+	o.StageBegin(0, 0, false, 0)
+	o.StageEnd(0, 0, false, 0, 10)
+	o.RoundBegin(0, 0, 0, 0)
+	o.RoundEnd(0, 0, 0, 0)
+	o.PhiCheck(PhiP, 0, 0, 0, true, 0)
+	o.Accusation(0, 0, 0, 1, 0)
+	o.MergeCompares(5)
+	o.SpanBegin("x", 0, 0)
+	o.SpanEnd("x", 0, 0)
+	o.AttemptBegin(0, 3)
+	o.AttemptEnd(0, 3, 100, true)
+	o.Quarantine(2, 0)
+	o.Backoff(time.Millisecond)
+	o.PublishStage(StageView{})
+	o.Subscribe(nil)
+	if o.Journal() != nil || o.Metrics() != nil {
+		t.Fatal("nil observer accessors should return nil")
+	}
+}
+
+func TestObserverRecordsMetricsAndJournal(t *testing.T) {
+	o := New(NewRegistry(), 64)
+	o.StageBegin(1, 0, false, 100)
+	o.RoundBegin(1, 0, 0, 100)
+	o.PhiCheck(PhiP, 1, 0, 0, true, 150)
+	o.PhiCheck(PhiF, 1, 0, 0, false, 160)
+	o.RoundEnd(1, 0, 0, 200)
+	o.StageEnd(1, 0, false, 100, 400)
+	o.Accusation(1, 0, 0, 3, 410)
+	o.MergeCompares(17)
+	o.AttemptBegin(0, 3)
+	o.AttemptEnd(0, 3, 9000, false)
+	o.AttemptBegin(1, 3)
+	o.AttemptEnd(1, 3, 8000, true)
+	o.Quarantine(5, 1)
+	o.Backoff(2 * time.Millisecond)
+
+	m := o.M
+	if m.Stages.Value() != 1 || m.Rounds.Value() != 1 {
+		t.Fatalf("stages/rounds = %d/%d", m.Stages.Value(), m.Rounds.Value())
+	}
+	if m.PhiPass[PhiP].Value() != 1 || m.PhiFail[PhiF].Value() != 1 || m.PhiFail[PhiP].Value() != 0 {
+		t.Fatal("phi counters wrong")
+	}
+	if m.Accusations.Value() != 1 || m.MergeCompares.Value() != 17 {
+		t.Fatal("accusation/compare counters wrong")
+	}
+	if m.StageVTicks.Count() != 1 || m.StageVTicks.Sum() != 300 {
+		t.Fatalf("stage histogram count/sum = %d/%d", m.StageVTicks.Count(), m.StageVTicks.Sum())
+	}
+	if m.RecoveryAttempts.Value() != 2 || m.RecoveryRetries.Value() != 1 {
+		t.Fatalf("attempts/retries = %d/%d", m.RecoveryAttempts.Value(), m.RecoveryRetries.Value())
+	}
+	if m.RecoveryVerified.Value() != 1 || m.RecoveryWastedVTicks.Value() != 9000 {
+		t.Fatalf("verified/wasted = %d/%d", m.RecoveryVerified.Value(), m.RecoveryWastedVTicks.Value())
+	}
+	if m.RecoveryQuarantines.Value() != 1 {
+		t.Fatal("quarantine counter wrong")
+	}
+	if m.RecoveryBackoffNanos.Value() != int64(2*time.Millisecond) {
+		t.Fatal("backoff counter wrong")
+	}
+
+	evs := o.J.Events()
+	// MergeCompares is metrics-only, so 13 of the 14 calls journal.
+	if len(evs) != 13 {
+		t.Fatalf("journal has %d events, want 13", len(evs))
+	}
+	if evs[0].Kind != EvStageBegin || evs[0].Label != "stage" {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	end := evs[5]
+	if end.Kind != EvStageEnd || end.Aux != 300 || end.VTicks != 400 {
+		t.Fatalf("stage end event %+v", end)
+	}
+	acc := evs[6]
+	if acc.Kind != EvAccusation || acc.Aux != 3 {
+		t.Fatalf("accusation event %+v", acc)
+	}
+}
+
+func TestRecordMessage(t *testing.T) {
+	m := NewMetrics(NewRegistry())
+	m.RecordMessage(wire.KindExchange, 40)
+	m.RecordMessage(wire.KindExchange, 40)
+	m.RecordMessage(wire.KindFTExchange, 100)
+	m.RecordMessage(wire.Kind(200), 7) // out of range: ignored
+	if m.MsgsTotal[wire.KindExchange].Value() != 2 ||
+		m.BytesTotal[wire.KindExchange].Value() != 80 {
+		t.Fatal("exchange counters wrong")
+	}
+	if m.MsgsTotal[wire.KindFTExchange].Value() != 1 ||
+		m.BytesTotal[wire.KindFTExchange].Value() != 100 {
+		t.Fatal("ft-exchange counters wrong")
+	}
+	var nilM *Metrics
+	nilM.RecordMessage(wire.KindExchange, 1) // nil-safe
+}
+
+type captureSub struct{ views []StageView }
+
+func (c *captureSub) OnStageView(v StageView) {
+	// Assembled aliases producer scratch; a real subscriber copies.
+	v.Assembled = append([]int64(nil), v.Assembled...)
+	c.views = append(c.views, v)
+}
+
+func TestPublishStageFansOut(t *testing.T) {
+	o := New(NewRegistry(), 8)
+	a, b := &captureSub{}, &captureSub{}
+	o.Subscribe(a)
+	o.Subscribe(b)
+	o.PublishStage(StageView{Node: 2, Stage: 1, Assembled: []int64{3, 1, 2}})
+	if len(a.views) != 1 || len(b.views) != 1 {
+		t.Fatal("both subscribers should receive the view")
+	}
+	if a.views[0].Node != 2 || a.views[0].Assembled[0] != 3 {
+		t.Fatalf("view %+v", a.views[0])
+	}
+}
+
+func TestDefaultSingletons(t *testing.T) {
+	if DefaultMetrics() != DefaultMetrics() {
+		t.Fatal("DefaultMetrics should be a singleton")
+	}
+	if Default() != Default() {
+		t.Fatal("Default should be a singleton")
+	}
+	if Default().M != DefaultMetrics() {
+		t.Fatal("Default observer should carry the default metrics")
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // counters only go up; negative adds are ignored
+	c.Add(0)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+	var nilC *Counter
+	nilC.Inc() // nil-safe
+	nilC.Add(1)
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value() = %d, want 7", got)
+	}
+	var nilG *Gauge
+	nilG.Set(5)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	// Buckets are cumulative at export; raw counts are per-bucket.
+	if got := h.counts[0].Load(); got != 2 { // <= 10: {5, 10}
+		t.Fatalf("bucket le=10 raw count = %d, want 2", got)
+	}
+	if got := h.counts[1].Load(); got != 2 { // (10, 100]: {11, 100}
+		t.Fatalf("bucket le=100 raw count = %d, want 2", got)
+	}
+	if got := h.counts[2].Load(); got != 1 { // +Inf: {1000}
+		t.Fatalf("+Inf bucket raw count = %d, want 1", got)
+	}
+	if h.Count() != 5 || h.Sum() != 1126 {
+		t.Fatalf("Count/Sum = %d/%d, want 5/1126", h.Count(), h.Sum())
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help", Label{"k", "v"})
+	b := r.Counter("dup_total", "help", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) should return the same counter")
+	}
+	c := r.Counter("dup_total", "help", Label{"k", "other"})
+	if a == c {
+		t.Fatal("different labels should return a different counter")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflicted", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("conflicted", "help")
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("race_total", "help", Label{"k", "v"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("race_total", "help", Label{"k", "v"}).Value(); got != 800 {
+		t.Fatalf("Value() = %d, want 800", got)
+	}
+}
+
+func TestRenderLabels(t *testing.T) {
+	if got := renderLabels(nil); got != "" {
+		t.Fatalf("renderLabels(nil) = %q, want empty", got)
+	}
+	got := renderLabels([]Label{{"a", "x"}, {"b", `q"uote`}})
+	want := `{a="x",b="q\"uote"}`
+	if got != want {
+		t.Fatalf("renderLabels = %q, want %q", got, want)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diagnose"
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 )
 
 // NoNode marks "no node" in quarantine fields.
@@ -106,6 +107,10 @@ type Policy struct {
 	// Sleep replaces time.Sleep between attempts; tests inject a no-op
 	// or a recorder. Nil means real sleeping.
 	Sleep func(time.Duration)
+	// Obs, when non-nil, receives attempt begin/end events (failed
+	// attempts accumulate their virtual-time cost into the wasted-vticks
+	// counter), quarantine decisions, and backoff waits.
+	Obs *obs.Observer
 }
 
 func (p Policy) withDefaults() Policy {
@@ -264,9 +269,12 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 			wait = pol.Backoff.wait(attempt, rng)
 			pol.Sleep(wait)
 			rep.TotalBackoff += wait
+			pol.Obs.Backoff(wait)
 		}
 		plan := Plan{Attempt: attempt, Dim: dim, Physical: append([]int(nil), physical...)}
+		pol.Obs.AttemptBegin(attempt, dim)
 		out := runner(plan)
+		pol.Obs.AttemptEnd(attempt, dim, out.Cost, out.Err == nil)
 		att := Attempt{
 			Index:       attempt,
 			Dim:         dim,
@@ -296,6 +304,7 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 				dim--
 				att.Quarantined = culprit
 				rep.Quarantined = append(rep.Quarantined, culprit)
+				pol.Obs.Quarantine(culprit, attempt)
 				// The suspect is gone; accusations against it must not
 				// condemn whoever inherits its traffic pattern.
 				hist.Reset()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diagnose"
+	"repro/internal/obs"
 )
 
 // noSleep collects the waits the supervisor would have slept.
@@ -83,6 +84,51 @@ func TestSuperviseTransientRetries(t *testing.T) {
 	// One transient accusation must not shrink the cube.
 	if rep.FinalDim != 3 || len(rep.Quarantined) != 0 {
 		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestSuperviseObservability checks the metric family the supervisor
+// feeds: a persistent fault supervised to a degraded verified result
+// must account every attempt, retry, quarantine, wasted tick, and
+// backoff wait.
+func TestSuperviseObservability(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), 64)
+	var waits []time.Duration
+	_, err := Supervise(3, func(p Plan) Outcome {
+		if p.Attempt < 2 {
+			return Outcome{HostErrors: accuse(5), Cost: 70, Err: errors.New("fault detected")}
+		}
+		return Outcome{Cost: 80}
+	}, Policy{Sleep: noSleep(&waits), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := o.Metrics()
+	if got := m.RecoveryAttempts.Value(); got != 3 {
+		t.Errorf("attempts counter = %d, want 3", got)
+	}
+	if got := m.RecoveryRetries.Value(); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+	if got := m.RecoveryVerified.Value(); got != 1 {
+		t.Errorf("verified counter = %d, want 1", got)
+	}
+	if got := m.RecoveryQuarantines.Value(); got != 1 {
+		t.Errorf("quarantines counter = %d, want 1", got)
+	}
+	if got := m.RecoveryWastedVTicks.Value(); got != 140 {
+		t.Errorf("wasted vticks counter = %d, want 140", got)
+	}
+	var total time.Duration
+	for _, w := range waits {
+		total += w
+	}
+	if got := m.RecoveryBackoffNanos.Value(); got != int64(total) {
+		t.Errorf("backoff nanos counter = %d, slept %d", got, int64(total))
+	}
+	// 3 attempt begin/end pairs + 1 quarantine + 2 backoffs.
+	if got := o.Journal().Total(); got != 9 {
+		t.Errorf("journal events = %d, want 9", got)
 	}
 }
 

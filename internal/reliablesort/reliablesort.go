@@ -31,6 +31,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/simnet"
 )
@@ -104,6 +105,13 @@ type Options struct {
 	// fault through quarantine remappings. Production callers leave it
 	// nil.
 	Inject func(attempt, dim int, physical []int) []blocksort.Options
+	// Obs, when non-nil, receives the full event stream of every
+	// attempt: stage/round spans, Φ evaluations, merge-compare counts,
+	// accusations, and (under AutoRecover) attempt, quarantine, and
+	// backoff events. Message and byte counters flow to the metrics
+	// registry backing Obs.M. Recording never charges virtual time, so
+	// instrumented runs cost the same ticks as bare ones.
+	Obs *obs.Observer
 }
 
 // MaxAutoDim caps the automatically chosen cube dimension (64 nodes):
@@ -183,7 +191,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 	}
 
 	if !opts.AutoRecover {
-		flat, at, _, err := runAttempt(base, dim, timeout, nil)
+		flat, at, _, err := runAttempt(base, dim, timeout, nil, opts.Obs)
 		stats.fromAttempt(at)
 		stats.Attempts = 1
 		if err != nil {
@@ -199,7 +207,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		if opts.Inject != nil {
 			nodeOpts = opts.Inject(p.Attempt, p.Dim, p.Physical)
 		}
-		flat, at, hostErrs, err := runAttempt(base, p.Dim, timeout, nodeOpts)
+		flat, at, hostErrs, err := runAttempt(base, p.Dim, timeout, nodeOpts, opts.Obs)
 		if err == nil {
 			result = flat
 			okStats = at
@@ -213,6 +221,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		Seed:          opts.Seed,
 		Sleep:         opts.Sleep,
 		PersistStreak: 2,
+		Obs:           opts.Obs,
 	})
 	if err != nil {
 		var ex *recovery.ExhaustedError
@@ -251,7 +260,7 @@ func (s *Stats) fromAttempt(at attemptStats) {
 // dimension, and post-verifies the output against the Theorem 1
 // oracle. It returns the full padded ascending sequence; err is nil
 // exactly when that sequence is verified.
-func runAttempt(base []int64, dim int, timeout time.Duration, nodeOpts []blocksort.Options) ([]int64, attemptStats, []core.HostError, error) {
+func runAttempt(base []int64, dim int, timeout time.Duration, nodeOpts []blocksort.Options, o *obs.Observer) ([]int64, attemptStats, []core.HostError, error) {
 	var at attemptStats
 	n := 1 << uint(dim)
 	m := (len(base) + n - 1) / n
@@ -273,9 +282,17 @@ func runAttempt(base []int64, dim int, timeout time.Duration, nodeOpts []blockso
 		blocks[i] = working[i*m : (i+1)*m : (i+1)*m]
 	}
 
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout, Obs: o.Metrics()})
 	if err != nil {
 		return nil, at, nil, fmt.Errorf("reliablesort: %w", err)
+	}
+	if o != nil {
+		if nodeOpts == nil {
+			nodeOpts = make([]blocksort.Options, n)
+		}
+		for i := range nodeOpts {
+			nodeOpts[i].Obs = o
+		}
 	}
 	oc, err := blocksort.RunFTWithOptions(nw, blocks, nodeOpts)
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -134,6 +135,12 @@ type Config struct {
 	// RecvTimeout bounds how long a Recv waits in wall-clock time
 	// before declaring the message absent. Zero means 2 seconds.
 	RecvTimeout time.Duration
+	// Obs receives per-kind message and byte counters in addition to
+	// the network's own Metrics. Nil means obs.DefaultMetrics(), so the
+	// process-wide /metrics endpoint sees traffic without explicit
+	// plumbing; recording is allocation-free and does not touch virtual
+	// clocks.
+	Obs *obs.Metrics
 }
 
 // Network is one simulated multicomputer instance: the links, the host
@@ -165,6 +172,7 @@ type Network struct {
 	pool chan []byte
 
 	metrics Metrics
+	obsM    *obs.Metrics
 }
 
 // poolBufCap sizes fresh pool buffers to hold an FT-exchange frame for
@@ -204,6 +212,10 @@ func New(cfg Config) (*Network, error) {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
+	obsM := cfg.Obs
+	if obsM == nil {
+		obsM = obs.DefaultMetrics()
+	}
 	n := topo.Nodes()
 	net := &Network{
 		topo:        topo,
@@ -214,6 +226,7 @@ func New(cfg Config) (*Network, error) {
 		hostOut:     make([]chan packet, n),
 		faults:      make(map[[2]int][]LinkFault),
 		pool:        make(chan []byte, 4*n+16),
+		obsM:        obsM,
 	}
 	for id := 0; id < n; id++ {
 		net.links[id] = make([]chan packet, topo.Dim())
@@ -365,6 +378,7 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	e.clock += cost
 	e.commTicks += cost
 	e.net.metrics.record(m.Kind, len(raw))
+	e.net.obsM.RecordMessage(m.Kind, len(raw))
 	arrival := e.clock + e.net.cost.Latency
 
 	if e.net.faultCount.Load() == 0 {
@@ -468,6 +482,7 @@ func (e *Endpoint) SendHost(m wire.Message) error {
 	e.clock += cost
 	e.commTicks += cost
 	e.net.metrics.record(m.Kind, len(raw))
+	e.net.obsM.RecordMessage(m.Kind, len(raw))
 	// Host links bypass fault interceptors, so the buffer stays pooled.
 	select {
 	case e.net.hostIn <- packet{raw: raw, arrival: e.clock + e.net.cost.Latency, pooled: true}:
@@ -579,6 +594,7 @@ func (h *Host) Send(node int, m wire.Message) error {
 	h.clock += cost
 	h.commTicks += cost
 	h.net.metrics.record(m.Kind, len(raw))
+	h.net.obsM.RecordMessage(m.Kind, len(raw))
 	select {
 	case h.net.hostOut[node] <- packet{raw: raw, arrival: h.clock + h.net.cost.Latency, pooled: true}:
 		return nil

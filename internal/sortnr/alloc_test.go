@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -56,5 +57,60 @@ func TestExchangeStepZeroAllocs(t *testing.T) {
 	}
 	if a0 > a1 {
 		t.Errorf("exchange order violated: active %d > passive %d", a0, a1)
+	}
+}
+
+// TestInstrumentedExchangeStepZeroAllocs is the ISSUE acceptance gate
+// for the observability layer: the same steady-state compare-exchange,
+// but with the full unified instrumentation enabled — transport
+// message/byte counters, round spans into the journal — must still be
+// zero allocations per step.
+func TestInstrumentedExchangeStepZeroAllocs(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), 512)
+	nw, err := simnet.New(simnet.Config{Dim: 3, RecvTimeout: 5 * time.Second, Obs: o.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := nw.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := &runner{ep: ep0, opts: Options{Obs: o}}
+	passive := &runner{ep: ep1, opts: Options{Obs: o}}
+
+	a0, a1 := int64(7), int64(3)
+	step := func() {
+		// The round spans runNode brackets every exchange with.
+		o.RoundBegin(0, 0, 0, int64(ep0.Clock()))
+		if err := passive.sendKey(0, 0, 0, a1); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		a0, err = active.exchangeStep(a0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err = passive.recvOneKey(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.RoundEnd(0, 0, 0, int64(ep0.Clock()))
+	}
+
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(200, step); n != 0 {
+		t.Errorf("instrumented exchange step: %v allocs/op, want 0", n)
+	}
+	if o.Journal().Total() == 0 {
+		t.Error("journal recorded nothing")
+	}
+	if o.Metrics().MsgsTotal[1].Value() == 0 {
+		t.Error("transport counters recorded nothing")
 	}
 }

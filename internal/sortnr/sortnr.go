@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -24,6 +25,11 @@ type Options struct {
 	// return a replacement, or return nil to stay silent. It is called
 	// with From/To already stamped so strategies can vary by receiver.
 	Tamper func(m *wire.Message) *wire.Message
+	// Obs, when non-nil, receives stage and round spans. S_NR has no Φ
+	// predicates to report; the spans exist so the baseline's schedule
+	// shows up in the same journal as S_FT's. Nil-safe,
+	// allocation-free, and never charges virtual time.
+	Obs *obs.Observer
 }
 
 // NodeProgram returns the S_NR program for one node. The node's
@@ -67,13 +73,18 @@ func runNode(ep transport.Endpoint, key int64, opts Options) (int64, error) {
 	r := &runner{ep: ep, opts: opts}
 	a := key
 	for i := 0; i < n; i++ {
+		stageVT := int64(ep.Clock())
+		opts.Obs.StageBegin(id, i, false, stageVT)
 		for j := i; j >= 0; j-- {
+			opts.Obs.RoundBegin(id, i, j, int64(ep.Clock()))
 			var err error
 			a, err = r.exchangeStep(a, i, j)
 			if err != nil {
 				return 0, fmt.Errorf("sortnr: node %d stage %d iter %d: %w", id, i, j, err)
 			}
+			opts.Obs.RoundEnd(id, i, j, int64(ep.Clock()))
 		}
+		opts.Obs.StageEnd(id, i, false, stageVT, int64(ep.Clock()))
 	}
 	return a, nil
 }

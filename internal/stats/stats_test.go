@@ -94,6 +94,33 @@ func TestLeastSquaresValidation(t *testing.T) {
 	}
 }
 
+// TestLeastSquaresSinglePoint pins the degenerate-input contract: one
+// observation determines one basis exactly, cannot determine two, and
+// a zero regressor leaves nothing to fit.
+func TestLeastSquaresSinglePoint(t *testing.T) {
+	coef, err := LeastSquares([][]float64{{2}}, []float64{6})
+	if err != nil {
+		t.Fatalf("single point, single basis: %v", err)
+	}
+	if math.Abs(coef[0]-3) > 1e-12 {
+		t.Errorf("coef = %v, want [3]", coef)
+	}
+	// One observation cannot determine two coefficients.
+	if _, err := LeastSquares([][]float64{{2, 5}}, []float64{6}); !errors.Is(err, ErrSingular) {
+		t.Errorf("single point, two bases: err = %v, want ErrSingular", err)
+	}
+	// A zero regressor makes the normal equations singular even with a
+	// square system.
+	if _, err := LeastSquares([][]float64{{0}}, []float64{1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero regressor: err = %v, want ErrSingular", err)
+	}
+	// Identical rows are rank one regardless of how many there are.
+	X := [][]float64{{1, 2}, {1, 2}, {1, 2}}
+	if _, err := LeastSquares(X, []float64{1, 1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("repeated rows: err = %v, want ErrSingular", err)
+	}
+}
+
 func TestRSquared(t *testing.T) {
 	if _, err := RSquared([]float64{1}, []float64{1, 2}); err == nil {
 		t.Error("length mismatch: want error")

@@ -1,0 +1,92 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blocksort"
+	"repro/internal/fault"
+	"repro/internal/wire"
+)
+
+// TestBlocksortChaosOverTCP drives the FT block sort over real sockets
+// with one node made Byzantine at the transport via Config.Tamper: the
+// same fault.Spec strategies the simnet experiments use, but with the
+// lie crossing a genuine TCP connection. Honest peers must detect the
+// fault (fail-stop, Theorem 3) — the faulty node runs with SkipChecks
+// so it never reports itself.
+func TestBlocksortChaosOverTCP(t *testing.T) {
+	const dim, faulty = 3, 5
+	spec := fault.Spec{Node: faulty, Strategy: fault.KeyLie, ActivateStage: 1, LieValue: 7777}
+	if err := spec.Validate(1 << dim); err != nil {
+		t.Fatal(err)
+	}
+	tamper := make([]func(m *wire.Message) *wire.Message, 1<<dim)
+	tamper[faulty] = spec.Tamper()
+
+	// Short timeout: once honest nodes fail-stop, their partners wait
+	// out the absence timeout, so a long one only slows the test.
+	nw, err := New(Config{Dim: dim, RecvTimeout: 500 * time.Millisecond, Tamper: tamper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	blocks := make([][]int64, 1<<dim)
+	for id := range blocks {
+		base := int64((len(blocks) - id) * 10)
+		blocks[id] = []int64{base, base - 3, base + 5, base - 7}
+	}
+	opts := make([]blocksort.Options, 1<<dim)
+	opts[faulty].SkipChecks = true
+
+	oc, err := blocksort.RunFTWithOptions(nw, blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oc.Detected() {
+		t.Fatal("transport-level key lie over TCP went undetected")
+	}
+	for _, he := range oc.HostErrors {
+		if he.Node == faulty {
+			t.Errorf("faulty node %d reported itself despite SkipChecks: %+v", faulty, he)
+		}
+	}
+}
+
+// TestTamperSilenceOverTCP checks the drop semantics: a nil return
+// from the hook writes nothing to the socket, so the honest receiver
+// sees a genuine timeout (absence evidence) rather than a decode
+// error.
+func TestTamperSilenceOverTCP(t *testing.T) {
+	tamper := make([]func(m *wire.Message) *wire.Message, 2)
+	tamper[1] = func(m *wire.Message) *wire.Message { return nil }
+	nw, err := New(Config{Dim: 1, RecvTimeout: 100 * time.Millisecond, Tamper: tamper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	a, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := b.Clock()
+	if err := b.Send(0, wire.Message{Kind: wire.KindExchange,
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{1}})}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Clock() <= pre {
+		t.Error("tampered send must still charge the sender's clock")
+	}
+	if got := nw.Metrics().TotalMsgs(); got != 1 {
+		t.Errorf("tampered send must still count the genuine message, got %d", got)
+	}
+	if _, rerr := a.Recv(0); rerr == nil {
+		t.Fatal("dropped message was delivered")
+	}
+}

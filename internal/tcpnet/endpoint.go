@@ -23,6 +23,12 @@ type Endpoint struct {
 	// sendBuf stages frame header + message for one-write sends and is
 	// reused across calls: steady-state sends allocate nothing.
 	sendBuf []byte
+
+	// tamper is this node's Byzantine hook from Config.Tamper (nil for
+	// honest nodes); tamperBuf stages replacement frames so even a
+	// lying node's sends stay allocation-free.
+	tamper    func(m *wire.Message) *wire.Message
+	tamperBuf []byte
 }
 
 // ID returns the node label.
@@ -78,9 +84,37 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	e.clock += cost
 	e.commTicks += cost
 	e.net.record(m.Kind, rawLen)
+	e.net.obsM.RecordMessage(m.Kind, rawLen)
+	if e.tamper != nil {
+		// Clock and counters above reflect the genuine message; the
+		// hook now decides what actually crosses the socket.
+		return e.sendTampered(bit, partner, m)
+	}
 	stampFrame(buf, e.clock)
 	if _, err := e.net.nodeConns[e.id][bit].Write(buf); err != nil {
 		return fmt.Errorf("tcpnet: %d -> %d: %w", e.id, partner, err)
+	}
+	return nil
+}
+
+// sendTampered runs the node's Byzantine hook and transmits whatever
+// it returns. A nil return — and an unencodable replacement — degrade
+// to silence: nothing is written and the receiver observes a genuine
+// wall-clock timeout on the socket, the transport-level analogue of
+// simnet's drop faults.
+func (e *Endpoint) sendTampered(bit, partner int, m wire.Message) error {
+	out := e.tamper(&m)
+	if out == nil {
+		return nil
+	}
+	buf, err := appendFrame(e.tamperBuf, *out)
+	if err != nil {
+		return nil
+	}
+	e.tamperBuf = buf
+	stampFrame(buf, e.clock)
+	if _, werr := e.net.nodeConns[e.id][bit].Write(buf); werr != nil {
+		return fmt.Errorf("tcpnet: %d -> %d: %w", e.id, partner, werr)
 	}
 	return nil
 }
@@ -129,6 +163,7 @@ func (e *Endpoint) SendHost(m wire.Message) error {
 	e.clock += cost
 	e.commTicks += cost
 	e.net.record(m.Kind, rawLen)
+	e.net.obsM.RecordMessage(m.Kind, rawLen)
 	stampFrame(buf, e.clock)
 	if _, err := e.net.nodeHostWrite[e.id].Write(buf); err != nil {
 		return fmt.Errorf("tcpnet: node %d -> host: %w", e.id, err)
@@ -217,6 +252,7 @@ func (h *Host) Send(node int, m wire.Message) error {
 	h.clock += cost
 	h.commTicks += cost
 	h.net.record(m.Kind, rawLen)
+	h.net.obsM.RecordMessage(m.Kind, rawLen)
 	stampFrame(buf, h.clock)
 	if _, err := h.net.hostConns[node].Write(buf); err != nil {
 		return fmt.Errorf("tcpnet: host -> %d: %w", node, err)

@@ -11,8 +11,12 @@
 // tests). This demonstrates that the algorithms and the paper's
 // measured quantities are independent of the in-process simulation.
 //
-// tcpnet trades simnet's fault-injection hooks for transport realism;
-// fault experiments stay on simnet.
+// Fault injection: Config.Tamper installs a per-node Byzantine hook
+// that intercepts every node-to-node send after the sender has charged
+// its clock and traffic counters for the genuine message — the same
+// ordering simnet's LinkFault uses — so fault experiments produce
+// comparable virtual-time accounting over real sockets. Host links are
+// reliable by assumption and bypass tampering.
 package tcpnet
 
 import (
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -59,6 +64,20 @@ type Config struct {
 	// RecvTimeout bounds how long a Recv waits in wall-clock time.
 	// Zero means 2 seconds.
 	RecvTimeout time.Duration
+	// Tamper, indexed by node label, intercepts that node's outgoing
+	// node-to-node messages at the transport, modelling a Byzantine
+	// processor over real sockets. The hook runs after the sender has
+	// charged its clock and the traffic counters for the genuine
+	// message (mirroring simnet's fault ordering, so virtual-time
+	// accounting stays transport-independent); it may mutate the
+	// message, return a replacement to substitute, or return nil to
+	// stay silent — the receiver then sees a genuine socket-level
+	// timeout. Entries may be nil; a short or nil slice leaves the
+	// remaining nodes honest. Host links cannot be tampered.
+	Tamper []func(m *wire.Message) *wire.Message
+	// Obs receives per-kind message and byte counters in addition to
+	// the network's own Metrics. Nil means obs.DefaultMetrics().
+	Obs *obs.Metrics
 }
 
 // packet is a received frame with its virtual arrival time.
@@ -90,6 +109,9 @@ type Network struct {
 
 	msgs  [8]atomic.Int64
 	bytes [8]atomic.Int64
+	obsM  *obs.Metrics
+
+	tamper []func(m *wire.Message) *wire.Message
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -112,11 +134,17 @@ func New(cfg Config) (nw *Network, err error) {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
+	obsM := cfg.Obs
+	if obsM == nil {
+		obsM = obs.DefaultMetrics()
+	}
 	n := topo.Nodes()
 	nw = &Network{
 		topo:          topo,
 		cost:          cost,
 		recvTimeout:   timeout,
+		obsM:          obsM,
+		tamper:        cfg.Tamper,
 		nodeConns:     make([][]net.Conn, n),
 		nodeHostWrite: make([]net.Conn, n),
 		hostConns:     make([]net.Conn, n),
@@ -316,7 +344,11 @@ func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
 	if !nw.topo.Contains(id) {
 		return nil, fmt.Errorf("tcpnet: node %d outside cube of %d nodes", id, nw.topo.Nodes())
 	}
-	return &Endpoint{net: nw, id: id}, nil
+	e := &Endpoint{net: nw, id: id}
+	if id < len(nw.tamper) {
+		e.tamper = nw.tamper[id]
+	}
+	return e, nil
 }
 
 // Host returns the host endpoint. Call at most once per network.

@@ -1,16 +1,24 @@
-// Package trace collects the per-node stage events S_FT emits through
-// its Trace hook into a thread-safe, queryable recording — the
-// machinery behind cmd/tracesort's reproduction of the paper's
-// Figure 5 worked example, and a debugging aid for protocol tests.
+// Package trace collects the per-node stage events S_FT emits into a
+// thread-safe, queryable recording — the machinery behind
+// cmd/tracesort's reproduction of the paper's Figure 5 worked example,
+// and a debugging aid for protocol tests.
+//
+// The recorder consumes either event source: the legacy
+// core.Options.Trace hook (Hook), or the unified observability stream
+// (the Recorder is an obs.StageSubscriber — pass it to
+// obs.Observer.Subscribe and both the one-key and block sorts feed it).
 package trace
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/obs"
 )
 
 // Recorder accumulates TraceEvents from concurrently running nodes.
@@ -20,17 +28,39 @@ type Recorder struct {
 	events []core.TraceEvent
 }
 
+// Recorder subscribes to the unified stage-view stream.
+var _ obs.StageSubscriber = (*Recorder)(nil)
+
 // Hook returns the function to install as core.Options.Trace. The same
 // hook may be shared by every node.
 func (r *Recorder) Hook() func(core.TraceEvent) {
-	return func(ev core.TraceEvent) {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		// Copy the assembled slice: the producer may reuse it.
-		cp := ev
-		cp.Assembled = append([]int64{}, ev.Assembled...)
-		r.events = append(r.events, cp)
-	}
+	return func(ev core.TraceEvent) { r.record(ev) }
+}
+
+// OnStageView implements obs.StageSubscriber: it adapts the unified
+// event stream's stage views into trace events, so an observer-wired
+// run needs no separate Trace hook.
+func (r *Recorder) OnStageView(v obs.StageView) {
+	r.record(core.TraceEvent{
+		Node:  v.Node,
+		Stage: v.Stage,
+		Final: v.Final,
+		Subcube: hypercube.Subcube{
+			Dim:   bits.Len(uint(v.SubcubeSize)) - 1,
+			Start: v.SubcubeStart,
+			End:   v.SubcubeStart + v.SubcubeSize - 1,
+		},
+		Assembled: v.Assembled,
+	})
+}
+
+func (r *Recorder) record(ev core.TraceEvent) {
+	// Copy the assembled slice: the producer reuses its scratch.
+	cp := ev
+	cp.Assembled = append([]int64{}, ev.Assembled...)
+	r.mu.Lock()
+	r.events = append(r.events, cp)
+	r.mu.Unlock()
 }
 
 // Events returns a copy of all recorded events in arrival order.
@@ -40,14 +70,18 @@ func (r *Recorder) Events() []core.TraceEvent {
 	return append([]core.TraceEvent{}, r.events...)
 }
 
-// ByNode returns node id's events sorted by stage.
+// ByNode returns node id's events sorted by stage. The recording is
+// filtered under one lock acquisition, without copying the full event
+// slice the way Events does.
 func (r *Recorder) ByNode(id int) []core.TraceEvent {
+	r.mu.Lock()
 	var out []core.TraceEvent
-	for _, ev := range r.Events() {
+	for _, ev := range r.events {
 		if ev.Node == id {
 			out = append(out, ev)
 		}
 	}
+	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
 	return out
 }
@@ -67,10 +101,12 @@ type StageView struct {
 }
 
 // Stage returns the deduplicated subcube views for one stage, ordered
-// by subcube start.
+// by subcube start. Like ByNode, it walks the recording under a single
+// lock acquisition.
 func (r *Recorder) Stage(stage int) []StageView {
 	views := map[[2]int]*StageView{}
-	for _, ev := range r.Events() {
+	r.mu.Lock()
+	for _, ev := range r.events {
 		if ev.Stage != stage {
 			continue
 		}
@@ -95,6 +131,7 @@ func (r *Recorder) Stage(stage int) []StageView {
 			}
 		}
 	}
+	r.mu.Unlock()
 	out := make([]StageView, 0, len(views))
 	for _, v := range views {
 		out = append(out, *v)
@@ -106,9 +143,11 @@ func (r *Recorder) Stage(stage int) []StageView {
 // Stages returns the distinct stage indices recorded, ascending.
 func (r *Recorder) Stages() []int {
 	seen := map[int]bool{}
-	for _, ev := range r.Events() {
+	r.mu.Lock()
+	for _, ev := range r.events {
 		seen[ev.Stage] = true
 	}
+	r.mu.Unlock()
 	out := make([]int, 0, len(seen))
 	for s := range seen {
 		out = append(out, s)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -69,6 +70,60 @@ func TestRecorderCollectsAndDeduplicates(t *testing.T) {
 		if evs[i].Stage < evs[i-1].Stage {
 			t.Fatal("ByNode not stage-ordered")
 		}
+	}
+}
+
+// TestRecorderAsStageSubscriber drives the same honest run through the
+// unified observability stream instead of the legacy Trace hook: the
+// recorder subscribed to an obs.Observer must collect the identical
+// per-stage views.
+func TestRecorderAsStageSubscriber(t *testing.T) {
+	var rec Recorder
+	o := obs.New(obs.NewRegistry(), 0)
+	o.Subscribe(&rec)
+	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
+	opts := make([]core.Options, len(keys))
+	for id := range opts {
+		opts[id] = core.Options{Obs: o}
+	}
+	nw, err := simnet.New(simnet.Config{Dim: 3, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := core.RunWithOptions(nw, keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Detected() {
+		t.Fatal("spurious detection")
+	}
+	if got := len(rec.Events()); got != 32 {
+		t.Fatalf("events = %d, want 32", got)
+	}
+	finals := rec.Stage(3)
+	if len(finals) != 1 || !finals[0].Final || !finals[0].Agreed {
+		t.Fatalf("final views = %+v", finals)
+	}
+	if finals[0].Start != 0 || finals[0].End != 7 {
+		t.Fatalf("final subcube = [%d..%d], want [0..7]", finals[0].Start, finals[0].End)
+	}
+	want := []int64{2, 3, 4, 5, 7, 8, 9, 10}
+	for i := range want {
+		if finals[0].Assembled[i] != want[i] {
+			t.Fatalf("final assembled = %v", finals[0].Assembled)
+		}
+	}
+}
+
+// TestSubscriberCopiesAssembled pins the aliasing contract: StageView's
+// Assembled slice belongs to the producer, so the recorder must copy.
+func TestSubscriberCopiesAssembled(t *testing.T) {
+	var rec Recorder
+	buf := []int64{7, 8}
+	rec.OnStageView(obs.StageView{Node: 0, Stage: 0, SubcubeStart: 0, SubcubeSize: 2, BlockLen: 1, Assembled: buf})
+	buf[0] = -1
+	if rec.Events()[0].Assembled[0] != 7 {
+		t.Error("subscriber did not copy the assembled slice")
 	}
 }
 
