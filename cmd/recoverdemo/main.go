@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	persistent := fs.Bool("persistent", false, "fault persists across attempts (default: transient, first attempt only)")
 	dim := fs.Int("dim", 3, "hypercube dimension (N = 2^dim nodes)")
 	attempts := fs.Int("attempts", 5, "supervisor attempt budget")
+	spares := fs.Int("spares", 0, "spare nodes pooled for substitution (labels 2^dim and up)")
 	seed := fs.Int64("seed", 1989, "workload seed")
 	lie := fs.Int64("lie", 999, "bogus value used by lying strategies")
 	timeout := fs.Duration("timeout", 200*time.Millisecond, "absence-detection timeout")
@@ -55,6 +56,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *dim < 1 || *dim > 6 {
 		return fmt.Errorf("dim %d out of range [1,6]", *dim)
+	}
+	if *spares < 0 {
+		return fmt.Errorf("spares %d must be non-negative", *spares)
 	}
 	n := 1 << uint(*dim)
 	if *site < 0 || *site >= n {
@@ -70,8 +74,12 @@ func run(args []string, out io.Writer) error {
 	if *persistent {
 		kind = "persistent"
 	}
-	fmt.Fprintf(out, "Recovery supervision: %s %v fault at physical node %d, dim-%d cube, budget %d attempts\n\n",
+	fmt.Fprintf(out, "Recovery supervision: %s %v fault at physical node %d, dim-%d cube, budget %d attempts",
 		kind, st, *site, *dim, *attempts)
+	if *spares > 0 {
+		fmt.Fprintf(out, ", %d spare(s) pooled", *spares)
+	}
+	fmt.Fprintf(out, "\n\n")
 
 	inject := func(attempt, d int, physical []int) []blocksort.Options {
 		opts := make([]blocksort.Options, 1<<uint(d))
@@ -92,13 +100,17 @@ func run(args []string, out io.Writer) error {
 		RecvTimeout: *timeout,
 		AutoRecover: true,
 		MaxAttempts: *attempts,
+		Spares:      *spares,
 		Inject:      inject,
 	})
 	if err != nil {
 		var ex *recovery.ExhaustedError
 		if errors.As(err, &ex) {
-			fmt.Fprintf(out, "supervision ESCALATED after %d attempts (quarantined %v):\n",
-				len(ex.Attempts), ex.Quarantined)
+			fmt.Fprintf(out, "supervision ESCALATED after %d attempts (quarantined %v", len(ex.Attempts), ex.Quarantined)
+			if len(ex.Substitutions) > 0 {
+				fmt.Fprintf(out, ", %d spare(s) consumed in vain", len(ex.Substitutions))
+			}
+			fmt.Fprintf(out, "):\n")
 			narrate(out, ex.Attempts)
 			fmt.Fprintf(out, "\nNo verified result was delivered — the fail-stop contract held to the end.\n")
 			return err
@@ -113,6 +125,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  attempts:        %d\n", stats.Attempts)
 	fmt.Fprintf(out, "  final cube dim:  %d (%d nodes x %d keys)\n", rep.FinalDim, stats.Nodes, stats.BlockLen)
 	fmt.Fprintf(out, "  quarantined:     %v\n", rep.Quarantined)
+	if len(rep.Substitutions) > 0 {
+		consumed := make([]int, len(rep.Substitutions))
+		for i, s := range rep.Substitutions {
+			consumed[i] = s.Spare
+		}
+		fmt.Fprintf(out, "  spares consumed: %v (of %d pooled)\n", consumed, *spares)
+	}
 	fmt.Fprintf(out, "  wasted ticks:    %d (virtual time of failed attempts)\n", rep.WastedCost)
 	fmt.Fprintf(out, "  total backoff:   %v\n", rep.TotalBackoff.Round(time.Millisecond))
 	return nil
@@ -145,10 +164,14 @@ func narrate(out io.Writer, attempts []recovery.Attempt) {
 		} else {
 			fmt.Fprintf(out, "  no attributable evidence\n")
 		}
-		if a.Quarantined >= 0 {
+		switch {
+		case a.Substituted >= 0:
+			fmt.Fprintf(out, "  decision: persistent — quarantine node %d, substitute spare %d at its slot (dim %d preserved)\n",
+				a.Quarantined, a.Substituted, a.Dim)
+		case a.Quarantined >= 0:
 			fmt.Fprintf(out, "  decision: persistent — quarantine node %d, shrink to dim %d\n",
 				a.Quarantined, a.Dim-1)
-		} else {
+		default:
 			fmt.Fprintf(out, "  decision: retry\n")
 		}
 	}

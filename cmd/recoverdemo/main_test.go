@@ -57,3 +57,32 @@ func TestRejectsBadFlags(t *testing.T) {
 		t.Error("site outside cube: want error")
 	}
 }
+
+func TestPersistentSubstitution(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-strategy", "split-lie", "-site", "5", "-persistent",
+		"-spares", "1", "-timeout", "100ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"persistent split-lie fault at physical node 5",
+		"1 spare(s) pooled",
+		"quarantine node 5, substitute spare 8 at its slot (dim 3 preserved)",
+		"verified clean",
+		"quarantined:     [5]",
+		"spares consumed: [8] (of 1 pooled)",
+		"final cube dim:  3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRejectsNegativeSpares(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-spares", "-2"}, &buf); err == nil {
+		t.Error("negative spares: want error")
+	}
+}

@@ -98,6 +98,11 @@ const (
 	EvQuarantine
 	// EvBackoff records a between-attempt wait (Aux = nanoseconds).
 	EvBackoff
+	// EvSubstitution records a spare node being activated at a
+	// quarantined suspect's logical slot, preserving the cube dimension
+	// (Node = suspect physical label, Aux = spare physical label,
+	// Stage = attempt index).
+	EvSubstitution
 )
 
 // eventKindNames is indexed by EventKind.
@@ -114,6 +119,7 @@ var eventKindNames = [...]string{
 	EvAttemptEnd:   "attempt-end",
 	EvQuarantine:   "quarantine",
 	EvBackoff:      "backoff",
+	EvSubstitution: "substitution",
 }
 
 // String returns the kind's kebab-case name.

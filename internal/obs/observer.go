@@ -40,15 +40,17 @@ type Metrics struct {
 
 	// RecoveryAttempts..RecoveryBackoffNanos are the supervisor's
 	// telemetry: total attempts, retries (attempts after the first),
-	// verified completions, quarantines, the virtual time burned by
-	// failed attempts (the ROADMAP's recovery-cost series), and
-	// wall-clock backoff.
-	RecoveryAttempts     *Counter
-	RecoveryRetries      *Counter
-	RecoveryVerified     *Counter
-	RecoveryQuarantines  *Counter
-	RecoveryWastedVTicks *Counter
-	RecoveryBackoffNanos *Counter
+	// verified completions, quarantines, spare substitutions (the
+	// subset of quarantines repaired at full dimension), the virtual
+	// time burned by failed attempts (the ROADMAP's recovery-cost
+	// series), and wall-clock backoff.
+	RecoveryAttempts      *Counter
+	RecoveryRetries       *Counter
+	RecoveryVerified      *Counter
+	RecoveryQuarantines   *Counter
+	RecoverySubstitutions *Counter
+	RecoveryWastedVTicks  *Counter
+	RecoveryBackoffNanos  *Counter
 }
 
 // NewMetrics registers the standard instrument set on reg and returns
@@ -88,6 +90,8 @@ func NewMetrics(reg *Registry) *Metrics {
 		"Supervised runs that ended with a verified result.")
 	m.RecoveryQuarantines = reg.Counter("recovery_quarantines_total",
 		"Nodes quarantined for persistent accusations.")
+	m.RecoverySubstitutions = reg.Counter("recovery_substitutions_total",
+		"Quarantined nodes replaced by spares at full cube dimension.")
 	m.RecoveryWastedVTicks = reg.Counter("recovery_wasted_vticks_total",
 		"Virtual time burned by failed attempts (the recovery cost series).")
 	m.RecoveryBackoffNanos = reg.Counter("recovery_backoff_nanos_total",
@@ -383,6 +387,22 @@ func (o *Observer) Quarantine(node, attempt int) {
 	}
 	o.J.Append(Event{Kind: EvQuarantine,
 		Node: int32(node), Stage: int32(attempt), Iter: -1})
+}
+
+// Substitution records spare taking over the logical slot of the
+// quarantined physical node suspect after attempt attempt, preserving
+// the full cube dimension. Emitted alongside Quarantine: every
+// substitution is a quarantine, but not every quarantine finds a
+// spare.
+func (o *Observer) Substitution(suspect, spare, attempt int) {
+	if o == nil {
+		return
+	}
+	if o.M != nil {
+		o.M.RecoverySubstitutions.Inc()
+	}
+	o.J.Append(Event{Kind: EvSubstitution,
+		Node: int32(suspect), Stage: int32(attempt), Iter: -1, Aux: int64(spare)})
 }
 
 // Backoff records a between-attempt wait.

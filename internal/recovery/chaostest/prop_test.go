@@ -1,0 +1,126 @@
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+)
+
+// scriptedRunner fails, succeeds, and accuses at random (but
+// deterministically per seed), modelling every behaviour a real
+// attempt can exhibit: verified success, attributable failure
+// (accusing a random logical node, sometimes consistently enough to
+// trigger quarantine), and unattributable failure.
+func scriptedRunner(rng *rand.Rand, failBias float64) recovery.Runner {
+	var stickySuspect = -1
+	return func(p recovery.Plan) recovery.Outcome {
+		out := recovery.Outcome{Cost: 1 + rng.Int63n(5000)}
+		if rng.Float64() >= failBias {
+			return out // verified success
+		}
+		out.Err = fmt.Errorf("scripted failure at attempt %d", p.Attempt)
+		switch rng.Intn(4) {
+		case 0:
+			// Unattributable failure: no evidence at all.
+		case 1:
+			// Fresh random accusation.
+			out.HostErrors = accuseLogical(rng.Intn(len(p.Physical)))
+		default:
+			// Sticky accusation: the same logical slot accused again
+			// and again, the pattern that trips PersistStreak.
+			if stickySuspect < 0 || stickySuspect >= len(p.Physical) {
+				stickySuspect = rng.Intn(len(p.Physical))
+			}
+			out.HostErrors = accuseLogical(stickySuspect)
+		}
+		return out
+	}
+}
+
+// accuseLogical is one consistency accusation against a logical node,
+// the evidence shape the diagnosis layer ranks highest.
+func accuseLogical(node int) []core.HostError {
+	return []core.HostError{{
+		Node: 0, Stage: 1, Iter: 0, Predicate: "consistency",
+		Kind: core.KindValue, Accused: node, Detail: "copies differ",
+	}}
+}
+
+// TestReportSelfConsistencyProperty drives many random scripted
+// supervisions straight into recovery.Supervise and asserts the
+// Report/ExhaustedError bookkeeping is self-consistent in every one:
+// attempts partition into retries + shrinks + substitutions +
+// successes, wasted vticks equal the failed attempts' costs, backoff
+// totals match the recorded waits, and the quarantine/substitution
+// lists mirror the per-attempt records.
+func TestReportSelfConsistencyProperty(t *testing.T) {
+	const runs = 400
+	rng := rand.New(rand.NewSource(19890612))
+	for i := 0; i < runs; i++ {
+		dim := 1 + rng.Intn(3)
+		spares := spareLabels(dim, rng.Intn(4))
+		pol := recovery.Policy{
+			MaxAttempts: 1 + rng.Intn(8),
+			MinDim:      1,
+			Spares:      spares,
+			Seed:        rng.Int63() | 1,
+			Sleep:       func(time.Duration) {},
+			Backoff:     recovery.Backoff{Base: time.Millisecond, Max: 16 * time.Millisecond},
+		}
+		failBias := 0.3 + rng.Float64()*0.6
+		runSeed := rng.Int63()
+		rep, err := recovery.Supervise(dim, scriptedRunner(rand.New(rand.NewSource(runSeed)), failBias), pol)
+		if err != nil {
+			var ex *recovery.ExhaustedError
+			if !errors.As(err, &ex) {
+				t.Fatalf("run %d (seed %d): unstructured error: %v", i, runSeed, err)
+			}
+			rep = &recovery.Report{
+				Attempts:      ex.Attempts,
+				FinalDim:      ex.Attempts[len(ex.Attempts)-1].Dim,
+				Quarantined:   ex.Quarantined,
+				Substitutions: ex.Substitutions,
+			}
+			for _, a := range ex.Attempts {
+				rep.WastedCost += a.Cost
+				rep.TotalBackoff += a.Backoff
+			}
+		}
+		if err := VerifyReport(rep); err != nil {
+			t.Fatalf("run %d (seed %d, dim %d, spares %d): %v\nattempts: %+v",
+				i, runSeed, dim, len(spares), err, rep.Attempts)
+		}
+		if len(rep.Attempts) > pol.MaxAttempts {
+			t.Fatalf("run %d: %d attempts exceed budget %d", i, len(rep.Attempts), pol.MaxAttempts)
+		}
+		// The dimension floor holds in every trajectory.
+		for _, a := range rep.Attempts {
+			if a.Dim < pol.MinDim {
+				t.Fatalf("run %d: attempt %d ran below MinDim: %d < %d", i, a.Index, a.Dim, pol.MinDim)
+			}
+		}
+		// Spares are consumed at most once each, in pool order.
+		next := 0
+		for _, s := range rep.Substitutions {
+			if next >= len(spares) || s.Spare != spares[next] {
+				t.Fatalf("run %d: substitution %+v out of pool order %v", i, s, spares)
+			}
+			next++
+		}
+	}
+}
+
+// spareLabels mirrors reliablesort's pool construction for direct
+// Supervise property runs.
+func spareLabels(dim, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = 1<<uint(dim) + i
+	}
+	return out
+}

@@ -8,9 +8,12 @@
 //	detect ──► diagnose ──► transient? ──► backoff ──► re-execute
 //	                │
 //	                └─ persistent (same suspect accused across
-//	                   attempts) ──► quarantine the suspect, remap the
-//	                   survivors onto the next-smaller subcube, and
-//	                   re-run degraded from the host-held input
+//	                   attempts) ──► quarantine the suspect and repair:
+//	                   substitute a spare at the suspect's slot (full
+//	                   dimension preserved) while the Policy.Spares
+//	                   pool lasts, else remap the survivors onto the
+//	                   next-smaller subcube; either way re-run from the
+//	                   host-held input
 //
 // The host holds the original input for the whole supervision (the
 // environment's reliable checkpoint), so every attempt restarts from
@@ -101,6 +104,13 @@ type Policy struct {
 	// MinDim is the smallest cube dimension quarantine may shrink to.
 	// Default 1 (a pair of nodes; dimension 0 cannot cross-check).
 	MinDim int
+	// Spares is the pool of spare physical node labels, consumed in
+	// order. While the pool lasts, a quarantine substitutes the next
+	// spare at the suspect's logical slot instead of shrinking the
+	// cube, so repair costs one node instead of half the machine (the
+	// N-modular-sparing alternative to graceful degradation). Labels
+	// must be distinct and outside the initial cube [0, 2^dim).
+	Spares []int
 	// Seed makes the backoff jitter deterministic; 0 uses a fixed
 	// default seed so supervisions are reproducible by default.
 	Seed int64
@@ -144,8 +154,15 @@ type Plan struct {
 	Dim int
 	// Physical[l] is the physical (original-cube) label of logical
 	// node l; attempt 0 is the identity. Fault injectors and operators
-	// reason in physical labels, which stay stable across shrinks.
+	// reason in physical labels, which stay stable across shrinks and
+	// substitutions (a spare keeps its own label when it enters the
+	// cube).
 	Physical []int
+	// Spares is the remaining spare pool, in consumption order. A
+	// runner that models the machine pre-registers these as idle
+	// endpoints so a substituted spare is a part that was already
+	// powered, not one conjured at quarantine time.
+	Spares []int
 }
 
 // Outcome is what one attempt produced.
@@ -182,12 +199,29 @@ type Attempt struct {
 	// Quarantined is the physical node dropped after this attempt
 	// (NoNode when no quarantine was decided).
 	Quarantined int
+	// Substituted is the spare physical label activated at the
+	// suspect's logical slot (NoNode when the quarantine shrank the
+	// cube instead, or when no quarantine was decided).
+	Substituted int
 	// Cost is the attempt's virtual-time makespan.
 	Cost int64
 	// Err is the attempt's failure, nil for the verified success.
 	Err error
 	// Verified marks the successful final attempt.
 	Verified bool
+}
+
+// Substitution records one spare activation: after attempt Attempt
+// the persistently accused Suspect was dropped and Spare took over its
+// logical slot, preserving the cube dimension.
+type Substitution struct {
+	// Suspect is the quarantined physical label.
+	Suspect int
+	// Spare is the activated spare's physical label.
+	Spare int
+	// Attempt is the 0-based attempt index after which the
+	// substitution was decided.
+	Attempt int
 }
 
 // Report aggregates a supervision: the attempt history plus the
@@ -198,8 +232,13 @@ type Report struct {
 	Attempts []Attempt
 	// FinalDim is the cube dimension of the last attempt.
 	FinalDim int
-	// Quarantined lists the physical labels dropped, in order.
+	// Quarantined lists the physical labels dropped, in order
+	// (suspects repaired by substitution included).
 	Quarantined []int
+	// Substitutions lists the spare activations, in order. Every
+	// substitution corresponds to one Quarantined entry; quarantines
+	// beyond len(Substitutions) fell back to subcube shrinks.
+	Substitutions []Substitution
 	// WastedCost is the virtual time burned by failed attempts.
 	WastedCost int64
 	// TotalBackoff is the wall-clock time spent waiting between
@@ -215,6 +254,9 @@ type ExhaustedError struct {
 	Attempts []Attempt
 	// Quarantined lists the physical nodes dropped along the way.
 	Quarantined []int
+	// Substitutions lists the spare activations performed along the
+	// way, so the operator knows which spares were consumed in vain.
+	Substitutions []Substitution
 }
 
 // Error implements the error interface.
@@ -223,6 +265,13 @@ func (e *ExhaustedError) Error() string {
 	fmt.Fprintf(&b, "recovery: attempt budget exhausted after %d attempts", len(e.Attempts))
 	if len(e.Quarantined) > 0 {
 		fmt.Fprintf(&b, " (quarantined nodes %v)", e.Quarantined)
+	}
+	if len(e.Substitutions) > 0 {
+		spares := make([]int, len(e.Substitutions))
+		for i, s := range e.Substitutions {
+			spares[i] = s.Spare
+		}
+		fmt.Fprintf(&b, " (spares consumed %v)", spares)
 	}
 	if last := e.lastErr(); last != nil {
 		fmt.Fprintf(&b, "; last error: %v", last)
@@ -255,11 +304,15 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 		return nil, fmt.Errorf("recovery: dimension %d out of range [0,%d]", dim, hypercube.MaxDim)
 	}
 	pol = pol.withDefaults()
+	if err := validateSpares(pol.Spares, dim); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(pol.Seed))
 	physical := make([]int, 1<<uint(dim))
 	for i := range physical {
 		physical[i] = i
 	}
+	spares := append([]int(nil), pol.Spares...)
 	hist := diagnose.NewHistory()
 	rep := &Report{FinalDim: dim}
 
@@ -271,7 +324,12 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 			rep.TotalBackoff += wait
 			pol.Obs.Backoff(wait)
 		}
-		plan := Plan{Attempt: attempt, Dim: dim, Physical: append([]int(nil), physical...)}
+		plan := Plan{
+			Attempt:  attempt,
+			Dim:      dim,
+			Physical: append([]int(nil), physical...),
+			Spares:   append([]int(nil), spares...),
+		}
 		pol.Obs.AttemptBegin(attempt, dim)
 		out := runner(plan)
 		pol.Obs.AttemptEnd(attempt, dim, out.Cost, out.Err == nil)
@@ -282,6 +340,7 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 			Backoff:     wait,
 			HostErrors:  out.HostErrors,
 			Quarantined: NoNode,
+			Substituted: NoNode,
 			Cost:        out.Cost,
 			Err:         out.Err,
 		}
@@ -298,21 +357,75 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 		} else {
 			hist.Record(diagnose.NoSuspect)
 		}
-		if culprit, ok := hist.Persistent(pol.PersistStreak); ok && dim > pol.MinDim {
+		if culprit, ok := hist.Persistent(pol.PersistStreak); ok {
 			if logical := logicalOf(physical, culprit); logical >= 0 {
-				physical = shrink(physical, logical, dim)
-				dim--
-				att.Quarantined = culprit
-				rep.Quarantined = append(rep.Quarantined, culprit)
-				pol.Obs.Quarantine(culprit, attempt)
-				// The suspect is gone; accusations against it must not
-				// condemn whoever inherits its traffic pattern.
-				hist.Reset()
+				newPhys, newSpares, newDim, spare, acted := remap(physical, spares, logical, dim, pol.MinDim)
+				if acted {
+					physical, spares, dim = newPhys, newSpares, newDim
+					att.Quarantined = culprit
+					att.Substituted = spare
+					rep.Quarantined = append(rep.Quarantined, culprit)
+					pol.Obs.Quarantine(culprit, attempt)
+					if spare != NoNode {
+						rep.Substitutions = append(rep.Substitutions,
+							Substitution{Suspect: culprit, Spare: spare, Attempt: attempt})
+						pol.Obs.Substitution(culprit, spare, attempt)
+					}
+					// The suspect is gone; accusations against it must not
+					// condemn whoever inherits its traffic pattern.
+					hist.Reset()
+				}
 			}
 		}
 		rep.Attempts = append(rep.Attempts, att)
 	}
-	return nil, &ExhaustedError{Attempts: rep.Attempts, Quarantined: rep.Quarantined}
+	return nil, &ExhaustedError{
+		Attempts:      rep.Attempts,
+		Quarantined:   rep.Quarantined,
+		Substitutions: rep.Substitutions,
+	}
+}
+
+// validateSpares rejects spare pools the substitution policy cannot
+// honor: labels inside the initial cube would collide with an active
+// node's identity, and duplicates would activate the same part twice.
+func validateSpares(spares []int, dim int) error {
+	n := 1 << uint(dim)
+	seen := make(map[int]bool, len(spares))
+	for _, s := range spares {
+		if s < n {
+			return fmt.Errorf("recovery: spare label %d inside the initial cube [0,%d)", s, n)
+		}
+		if seen[s] {
+			return fmt.Errorf("recovery: duplicate spare label %d", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+// remap decides and applies the quarantine action for the persistent
+// suspect at logical slot logical: while the spare pool lasts, the
+// next spare is substituted at the suspect's slot and the dimension is
+// preserved; with a dry pool the cube shrinks to the half opposite the
+// suspect, but never below minDim (and never below dimension 0 — a
+// dim-0 cube has no axis to drop). It returns the new
+// logical→physical map, the remaining pool, the new dimension, the
+// spare used (NoNode for a shrink), and whether any action was taken;
+// acted == false means the supervisor keeps retrying undegraded.
+func remap(physical, spares []int, logical, dim, minDim int) (newPhys, newSpares []int, newDim, spare int, acted bool) {
+	if dim < 0 || logical < 0 || logical >= len(physical) || len(physical) != 1<<uint(dim) {
+		return physical, spares, dim, NoNode, false
+	}
+	if len(spares) > 0 {
+		out := append([]int(nil), physical...)
+		out[logical] = spares[0]
+		return out, spares[1:], dim, spares[0], true
+	}
+	if dim > minDim && dim > 0 {
+		return shrink(physical, logical, dim), spares, dim - 1, NoNode, true
+	}
+	return physical, spares, dim, NoNode, false
 }
 
 // physicalSuspects translates a diagnosis ranking from the attempt's

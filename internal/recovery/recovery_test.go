@@ -312,3 +312,165 @@ func TestPhysicalSuspectsDropsOutOfRange(t *testing.T) {
 		t.Fatalf("physicalSuspects = %+v", got)
 	}
 }
+
+// A persistent fault with a spare pooled is repaired by substitution:
+// the spare takes the suspect's logical slot, the dimension never
+// drops, and the remaining pool rides the next plan.
+func TestSuperviseSubstitutesSpareAtFullDim(t *testing.T) {
+	var waits []time.Duration
+	var plans []Plan
+	rep, err := Supervise(3, func(p Plan) Outcome {
+		plans = append(plans, p)
+		for l, ph := range p.Physical {
+			if ph == 5 {
+				return Outcome{HostErrors: accuse(l), Cost: 50, Err: errors.New("fault detected")}
+			}
+		}
+		return Outcome{Cost: 60}
+	}, Policy{Spares: []int{8, 9}, Sleep: noSleep(&waits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3 (fail, fail+substitute, verified)", len(rep.Attempts))
+	}
+	if got := rep.Quarantined; len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Quarantined = %v", got)
+	}
+	if len(rep.Substitutions) != 1 || rep.Substitutions[0] != (Substitution{Suspect: 5, Spare: 8, Attempt: 1}) {
+		t.Fatalf("Substitutions = %+v", rep.Substitutions)
+	}
+	if rep.Attempts[1].Quarantined != 5 || rep.Attempts[1].Substituted != 8 {
+		t.Fatalf("attempt 1 = %+v", rep.Attempts[1])
+	}
+	if rep.FinalDim != 3 {
+		t.Fatalf("FinalDim = %d, substitution must preserve the dimension", rep.FinalDim)
+	}
+	last := plans[len(plans)-1]
+	if last.Dim != 3 || len(last.Physical) != 8 {
+		t.Fatalf("final plan = %+v", last)
+	}
+	if last.Physical[5] != 8 {
+		t.Fatalf("spare 8 not at the suspect's slot: %v", last.Physical)
+	}
+	for l, ph := range last.Physical {
+		if l != 5 && ph != l {
+			t.Fatalf("substitution disturbed slot %d: %v", l, last.Physical)
+		}
+	}
+	if len(last.Spares) != 1 || last.Spares[0] != 9 {
+		t.Fatalf("remaining pool = %v, want [9]", last.Spares)
+	}
+}
+
+// A fault that chases the logical slot (suspect, then its replacement
+// spare, then the next) consumes the pool in order and only then falls
+// back to the subcube shrink.
+func TestSuperviseSparePoolConsumedInOrderThenShrinks(t *testing.T) {
+	var waits []time.Duration
+	rep, err := Supervise(3, func(p Plan) Outcome {
+		if len(p.Physical) > 5 {
+			// Whatever occupies logical slot 5 is faulty: the part is
+			// fine, the socket is bad.
+			return Outcome{HostErrors: accuse(5), Cost: 10, Err: errors.New("fault detected")}
+		}
+		return Outcome{Cost: 20}
+	}, Policy{MaxAttempts: 8, Spares: []int{8, 9}, Sleep: noSleep(&waits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := []int{5, 8, 9}
+	if len(rep.Quarantined) != len(wantQ) {
+		t.Fatalf("Quarantined = %v, want %v", rep.Quarantined, wantQ)
+	}
+	for i := range wantQ {
+		if rep.Quarantined[i] != wantQ[i] {
+			t.Fatalf("Quarantined = %v, want %v", rep.Quarantined, wantQ)
+		}
+	}
+	if len(rep.Substitutions) != 2 ||
+		rep.Substitutions[0].Spare != 8 || rep.Substitutions[1].Spare != 9 {
+		t.Fatalf("Substitutions = %+v, want spares 8 then 9", rep.Substitutions)
+	}
+	if rep.Substitutions[0].Suspect != 5 || rep.Substitutions[1].Suspect != 8 {
+		t.Fatalf("Substitutions = %+v, want suspects 5 then 8", rep.Substitutions)
+	}
+	// Two substitutions held dim 3; the third quarantine had a dry
+	// pool and shrank.
+	if rep.FinalDim != 2 {
+		t.Fatalf("FinalDim = %d, want 2 after pool exhaustion", rep.FinalDim)
+	}
+	for _, a := range rep.Attempts {
+		if a.Substituted != NoNode && a.Dim != 3 {
+			t.Fatalf("substitution at dim %d: %+v", a.Dim, a)
+		}
+	}
+}
+
+// Substitution needs no smaller cube to fall back to, so it works even
+// at the MinDim floor where a shrink would be refused.
+func TestSuperviseSubstitutesAtMinDim(t *testing.T) {
+	var waits []time.Duration
+	rep, err := Supervise(1, func(p Plan) Outcome {
+		for l, ph := range p.Physical {
+			if ph == 1 {
+				return Outcome{HostErrors: accuse(l), Cost: 5, Err: errors.New("fault detected")}
+			}
+		}
+		return Outcome{Cost: 5}
+	}, Policy{MaxAttempts: 5, Spares: []int{2}, Sleep: noSleep(&waits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalDim != 1 {
+		t.Fatalf("FinalDim = %d", rep.FinalDim)
+	}
+	if len(rep.Substitutions) != 1 || rep.Substitutions[0].Spare != 2 || rep.Substitutions[0].Suspect != 1 {
+		t.Fatalf("Substitutions = %+v", rep.Substitutions)
+	}
+}
+
+// With MinDim forced to 0 the cube may shrink to a single node, but
+// never below: a persistent accusation against the last node must
+// surface as a clean ExhaustedError, not a panic from a negative
+// shrink axis.
+func TestSuperviseDimZeroNeverShrinksBelow(t *testing.T) {
+	var waits []time.Duration
+	_, err := Supervise(1, func(p Plan) Outcome {
+		// Always accuse logical node 0: after the 1→0 shrink the
+		// accusation chases the sole survivor.
+		return Outcome{HostErrors: accuse(0), Cost: 1, Err: errors.New("fault detected")}
+	}, Policy{MaxAttempts: 6, MinDim: -1, Sleep: noSleep(&waits)})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v", err)
+	}
+	sawDimZero := false
+	for _, a := range ex.Attempts {
+		if a.Dim < 0 || len(a.Physical) != 1<<uint(a.Dim) {
+			t.Fatalf("attempt = %+v", a)
+		}
+		if a.Dim == 0 {
+			sawDimZero = true
+			if a.Quarantined != NoNode {
+				t.Fatalf("quarantine acted on a dim-0 cube: %+v", a)
+			}
+		}
+	}
+	if !sawDimZero {
+		t.Fatal("supervision never reached dim 0")
+	}
+}
+
+func TestSuperviseRejectsBadSparePools(t *testing.T) {
+	runner := func(Plan) Outcome { return Outcome{} }
+	if _, err := Supervise(3, runner, Policy{Spares: []int{3}}); err == nil {
+		t.Error("spare label inside the cube accepted")
+	}
+	if _, err := Supervise(3, runner, Policy{Spares: []int{8, 8}}); err == nil {
+		t.Error("duplicate spare labels accepted")
+	}
+	if _, err := Supervise(3, runner, Policy{Spares: []int{8, 9}}); err != nil {
+		t.Errorf("valid pool rejected: %v", err)
+	}
+}

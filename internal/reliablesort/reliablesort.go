@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // ErrFaultDetected is returned when the constraint predicate
@@ -92,6 +93,14 @@ type Options struct {
 	// MinDim floors the quarantine shrink; 0 means the supervisor
 	// default (1).
 	MinDim int
+	// Spares is the number of spare physical nodes available under
+	// AutoRecover: labels 2^dim .. 2^dim+Spares-1 are pre-registered
+	// as idle endpoints on every attempt's network, and on a
+	// persistent accusation the supervisor substitutes the next spare
+	// at the suspect's logical slot instead of shrinking the cube —
+	// full capacity is preserved until the pool runs dry, after which
+	// quarantine falls back to the subcube shrink.
+	Spares int
 	// Seed makes the backoff jitter deterministic; 0 uses a fixed
 	// default seed.
 	Seed int64
@@ -107,11 +116,36 @@ type Options struct {
 	Inject func(attempt, dim int, physical []int) []blocksort.Options
 	// Obs, when non-nil, receives the full event stream of every
 	// attempt: stage/round spans, Φ evaluations, merge-compare counts,
-	// accusations, and (under AutoRecover) attempt, quarantine, and
-	// backoff events. Message and byte counters flow to the metrics
-	// registry backing Obs.M. Recording never charges virtual time, so
-	// instrumented runs cost the same ticks as bare ones.
+	// accusations, and (under AutoRecover) attempt, quarantine,
+	// substitution, and backoff events. Message and byte counters flow
+	// to the metrics registry backing Obs.M. Recording never charges
+	// virtual time, so instrumented runs cost the same ticks as bare
+	// ones.
 	Obs *obs.Observer
+
+	// NewNetwork overrides the transport constructor used for each
+	// attempt; nil means internal/simnet. The returned network must
+	// honor the transport contract (including pre-registering
+	// cfg.Spares idle endpoints beyond the cube); if it additionally
+	// has a Close method, it is closed when the attempt finishes. The
+	// chaos harness injects internal/tcpnet here to drive the same
+	// recovery path over real sockets.
+	NewNetwork func(cfg NetConfig) (transport.Network, error)
+}
+
+// NetConfig is what Sort asks of a transport constructor for one
+// attempt. Both internal/simnet and internal/tcpnet accept these
+// fields verbatim.
+type NetConfig struct {
+	// Dim is the hypercube dimension for the attempt.
+	Dim int
+	// Spares is the number of idle spare endpoints to pre-register
+	// beyond the cube (labels 2^Dim .. 2^Dim+Spares-1).
+	Spares int
+	// RecvTimeout bounds absence detection.
+	RecvTimeout time.Duration
+	// Obs receives the transport's message/byte counters (may be nil).
+	Obs *obs.Metrics
 }
 
 // MaxAutoDim caps the automatically chosen cube dimension (64 nodes):
@@ -190,8 +224,13 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		}
 	}
 
+	newNet := opts.NewNetwork
+	if newNet == nil {
+		newNet = simnetNetwork
+	}
+
 	if !opts.AutoRecover {
-		flat, at, _, err := runAttempt(base, dim, timeout, nil, opts.Obs)
+		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout}, newNet, nil, opts.Obs)
 		stats.fromAttempt(at)
 		stats.Attempts = 1
 		if err != nil {
@@ -207,7 +246,8 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		if opts.Inject != nil {
 			nodeOpts = opts.Inject(p.Attempt, p.Dim, p.Physical)
 		}
-		flat, at, hostErrs, err := runAttempt(base, p.Dim, timeout, nodeOpts, opts.Obs)
+		cfg := NetConfig{Dim: p.Dim, Spares: len(p.Spares), RecvTimeout: timeout}
+		flat, at, hostErrs, err := runAttempt(base, cfg, newNet, nodeOpts, opts.Obs)
 		if err == nil {
 			result = flat
 			okStats = at
@@ -218,6 +258,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		MaxAttempts:   opts.MaxAttempts,
 		Backoff:       opts.Backoff,
 		MinDim:        opts.MinDim,
+		Spares:        spareLabels(dim, opts.Spares),
 		Seed:          opts.Seed,
 		Sleep:         opts.Sleep,
 		PersistStreak: 2,
@@ -255,14 +296,39 @@ func (s *Stats) fromAttempt(at attemptStats) {
 	s.Bytes = at.bytes
 }
 
+// simnetNetwork is the default transport constructor: a fresh simnet
+// cube per attempt, with cfg.Spares idle spare endpoints beyond it.
+func simnetNetwork(cfg NetConfig) (transport.Network, error) {
+	return simnet.New(simnet.Config{
+		Dim:         cfg.Dim,
+		Spares:      cfg.Spares,
+		RecvTimeout: cfg.RecvTimeout,
+		Obs:         cfg.Obs,
+	})
+}
+
+// spareLabels returns the physical labels of the spare pool: the
+// count labels immediately above the initial cube.
+func spareLabels(dim, count int) []int {
+	if count <= 0 {
+		return nil
+	}
+	n := 1 << uint(dim)
+	out := make([]int, count)
+	for i := range out {
+		out[i] = n + i
+	}
+	return out
+}
+
 // runAttempt executes one fault-tolerant block sort of base (the
 // negated-and-unpadded checkpoint) on a fresh cube of the given
 // dimension, and post-verifies the output against the Theorem 1
 // oracle. It returns the full padded ascending sequence; err is nil
 // exactly when that sequence is verified.
-func runAttempt(base []int64, dim int, timeout time.Duration, nodeOpts []blocksort.Options, o *obs.Observer) ([]int64, attemptStats, []core.HostError, error) {
+func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer) ([]int64, attemptStats, []core.HostError, error) {
 	var at attemptStats
-	n := 1 << uint(dim)
+	n := 1 << uint(cfg.Dim)
 	m := (len(base) + n - 1) / n
 	if m == 0 {
 		m = 1
@@ -282,9 +348,15 @@ func runAttempt(base []int64, dim int, timeout time.Duration, nodeOpts []blockso
 		blocks[i] = working[i*m : (i+1)*m : (i+1)*m]
 	}
 
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout, Obs: o.Metrics()})
+	cfg.Obs = o.Metrics()
+	nw, err := newNet(cfg)
 	if err != nil {
 		return nil, at, nil, fmt.Errorf("reliablesort: %w", err)
+	}
+	// tcpnet (and other socket-backed transports) hold real resources
+	// per attempt; simnet has no Close and is left to the GC.
+	if c, ok := nw.(interface{ Close() }); ok {
+		defer c.Close()
 	}
 	if o != nil {
 		if nodeOpts == nil {

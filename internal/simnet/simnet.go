@@ -135,6 +135,13 @@ type Config struct {
 	// RecvTimeout bounds how long a Recv waits in wall-clock time
 	// before declaring the message absent. Zero means 2 seconds.
 	RecvTimeout time.Duration
+	// Spares is the number of spare nodes pre-registered beyond the
+	// cube: physical labels 2^Dim .. 2^Dim+Spares-1 get endpoints and
+	// reliable host links but no cube links. They sit idle —
+	// contributing nothing to virtual time or traffic — until the
+	// recovery supervisor activates one by remapping it into a future
+	// attempt's cube. Negative is treated as zero.
+	Spares int
 	// Obs receives per-kind message and byte counters in addition to
 	// the network's own Metrics. Nil means obs.DefaultMetrics(), so the
 	// process-wide /metrics endpoint sees traffic without explicit
@@ -150,6 +157,9 @@ type Network struct {
 	topo        hypercube.Topology
 	cost        CostModel
 	recvTimeout time.Duration
+	// spares counts the idle spare endpoints registered beyond the
+	// cube; they own host links only.
+	spares int
 
 	// links[node][bit] is the inbound queue at node for messages from
 	// its partner across dimension bit.
@@ -216,14 +226,19 @@ func New(cfg Config) (*Network, error) {
 	if obsM == nil {
 		obsM = obs.DefaultMetrics()
 	}
+	spares := cfg.Spares
+	if spares < 0 {
+		spares = 0
+	}
 	n := topo.Nodes()
 	net := &Network{
 		topo:        topo,
 		cost:        cost,
 		recvTimeout: timeout,
+		spares:      spares,
 		links:       make([][]chan packet, n),
 		hostIn:      make(chan packet, 4*n+16),
-		hostOut:     make([]chan packet, n),
+		hostOut:     make([]chan packet, n+spares),
 		faults:      make(map[[2]int][]LinkFault),
 		pool:        make(chan []byte, 4*n+16),
 		obsM:        obsM,
@@ -233,9 +248,24 @@ func New(cfg Config) (*Network, error) {
 		for b := 0; b < topo.Dim(); b++ {
 			net.links[id][b] = make(chan packet, linkQueueDepth)
 		}
+	}
+	// Spares share the reliable host interface (that is how they would
+	// be loaded and activated) but have no cube links until a remap
+	// promotes one into the cube proper.
+	for id := 0; id < n+spares; id++ {
 		net.hostOut[id] = make(chan packet, linkQueueDepth)
 	}
 	return net, nil
+}
+
+// Spares returns the number of idle spare endpoints registered beyond
+// the cube.
+func (nw *Network) Spares() int { return nw.spares }
+
+// isSpare reports whether id names a registered spare (a label beyond
+// the cube with a host link but no cube links).
+func (nw *Network) isSpare(id int) bool {
+	return id >= nw.topo.Nodes() && id < nw.topo.Nodes()+nw.spares
 }
 
 // Topology returns the underlying hypercube.
@@ -319,10 +349,14 @@ func (e *Endpoint) disarmTimer() {
 }
 
 // Endpoint returns the endpoint for a node. Call once per node before
-// starting its goroutine.
+// starting its goroutine. Spare labels (beyond the cube, when
+// Config.Spares pre-registered them) get endpoints with host links
+// only: their Send/Recv across cube dimensions fail until a recovery
+// remap promotes the spare into a future attempt's cube.
 func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
-	if !nw.topo.Contains(id) {
-		return nil, fmt.Errorf("simnet: node %d outside cube of %d nodes", id, nw.topo.Nodes())
+	if !nw.topo.Contains(id) && !nw.isSpare(id) {
+		return nil, fmt.Errorf("simnet: node %d outside cube of %d nodes (+%d spares)",
+			id, nw.topo.Nodes(), nw.spares)
 	}
 	return &Endpoint{net: nw, id: id}, nil
 }
@@ -362,6 +396,9 @@ func (e *Endpoint) ChargeKeyMove(n int) { e.Compute(Ticks(n) * e.net.cost.KeyMov
 // stamped to arrive Latency ticks after departure. Installed link
 // faults may drop, corrupt, or duplicate the message.
 func (e *Endpoint) Send(bit int, m wire.Message) error {
+	if e.net.isSpare(e.id) {
+		return fmt.Errorf("simnet: spare node %d has no cube links", e.id)
+	}
 	partner, err := e.net.topo.Partner(e.id, bit)
 	if err != nil {
 		return fmt.Errorf("simnet: send: %w", err)
@@ -424,6 +461,9 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 // valid only until the endpoint's next receive (Recv or RecvHost):
 // decode or copy the payload before receiving again.
 func (e *Endpoint) Recv(bit int) (wire.Message, error) {
+	if e.net.isSpare(e.id) {
+		return wire.Message{}, fmt.Errorf("simnet: spare node %d has no cube links", e.id)
+	}
 	if bit < 0 || bit >= e.net.topo.Dim() {
 		return wire.Message{}, fmt.Errorf("simnet: recv: bit %d outside dimension %d", bit, e.net.topo.Dim())
 	}
@@ -579,8 +619,9 @@ func (h *Host) ChargeKeyMove(n int) { h.Compute(Ticks(n) * h.net.cost.KeyMove) }
 // Send transmits a message from the host to a node over the host
 // interface (HostFixed/HostPerByte costs).
 func (h *Host) Send(node int, m wire.Message) error {
-	if !h.net.topo.Contains(node) {
-		return fmt.Errorf("simnet: host send: node %d outside cube of %d nodes", node, h.net.topo.Nodes())
+	if !h.net.topo.Contains(node) && !h.net.isSpare(node) {
+		return fmt.Errorf("simnet: host send: node %d outside cube of %d nodes (+%d spares)",
+			node, h.net.topo.Nodes(), h.net.spares)
 	}
 	m.From = wire.HostID
 	m.To = int32(node)

@@ -353,3 +353,80 @@ func TestBackpressure(t *testing.T) {
 		t.Fatalf("want ErrLinkBackpressure after flooding, got %v", err)
 	}
 }
+
+// Spares are pre-registered endpoints beyond the cube: reachable over
+// the host interface (a spare is a powered part awaiting activation)
+// but with no cube links until a remap gives them a logical slot.
+func TestSpareEndpoints(t *testing.T) {
+	nw, err := New(Config{Dim: 2, Spares: 2, RecvTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Spares() != 2 {
+		t.Fatalf("Spares() = %d, want 2", nw.Spares())
+	}
+	// Labels 4 and 5 exist; 6 is beyond the pool.
+	spare, err := nw.Endpoint(5)
+	if err != nil {
+		t.Fatalf("spare endpoint: %v", err)
+	}
+	if _, err := nw.Endpoint(6); err == nil {
+		t.Error("Endpoint(6) beyond the spare pool: want error")
+	}
+
+	// No cube links while idle.
+	if err := spare.Send(0, wire.Message{Kind: wire.KindExchange}); err == nil {
+		t.Error("spare Send on a cube link: want error")
+	}
+	if _, err := spare.Recv(0); err == nil {
+		t.Error("spare Recv on a cube link: want error")
+	}
+
+	// Host link works both ways.
+	h := nw.Host()
+	if err := h.Send(5, wire.Message{Kind: wire.KindHostDownload,
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{11}})}); err != nil {
+		t.Fatalf("host -> spare: %v", err)
+	}
+	m, err := spare.RecvHost()
+	if err != nil {
+		t.Fatalf("spare RecvHost: %v", err)
+	}
+	if m.Kind != wire.KindHostDownload {
+		t.Fatalf("spare received %v", m.Kind)
+	}
+	if err := spare.SendHost(wire.Message{Kind: wire.KindHostUpload}); err != nil {
+		t.Fatalf("spare SendHost: %v", err)
+	}
+	reply, err := h.Recv()
+	if err != nil {
+		t.Fatalf("host Recv from spare: %v", err)
+	}
+	if reply.From != 5 || reply.Kind != wire.KindHostUpload {
+		t.Fatalf("host received %+v", reply)
+	}
+}
+
+// Idle spares must not perturb the cube: a run on a spared network
+// produces the identical virtual-time result as one without spares.
+func TestSparesDoNotPerturbCube(t *testing.T) {
+	run := func(spares int) (transportTicks int64) {
+		nw, err := New(Config{Dim: 1, Spares: spares, RecvTimeout: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := nw.Endpoint(0)
+		b, _ := nw.Endpoint(1)
+		payload := wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{1, 2, 3}})
+		if err := a.Send(0, wire.Message{Kind: wire.KindExchange, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(0); err != nil {
+			t.Fatal(err)
+		}
+		return int64(a.Clock() + b.Clock())
+	}
+	if bare, spared := run(0), run(3); bare != spared {
+		t.Fatalf("idle spares changed cube ticks: %d vs %d", bare, spared)
+	}
+}

@@ -68,6 +68,9 @@ func (e *Endpoint) ChargeKeyMove(n int) {
 // Send transmits to the partner across the given dimension bit over
 // the link's TCP connection.
 func (e *Endpoint) Send(bit int, m wire.Message) error {
+	if e.net.isSpare(e.id) {
+		return fmt.Errorf("tcpnet: spare node %d has no cube links", e.id)
+	}
 	partner, err := e.net.topo.Partner(e.id, bit)
 	if err != nil {
 		return fmt.Errorf("tcpnet: send: %w", err)
@@ -122,6 +125,9 @@ func (e *Endpoint) sendTampered(bit, partner int, m wire.Message) error {
 // Recv blocks for the next message from the partner across the given
 // dimension bit, advancing the virtual clock to its arrival.
 func (e *Endpoint) Recv(bit int) (wire.Message, error) {
+	if e.net.isSpare(e.id) {
+		return wire.Message{}, fmt.Errorf("tcpnet: spare node %d has no cube links", e.id)
+	}
 	if bit < 0 || bit >= e.net.topo.Dim() {
 		return wire.Message{}, fmt.Errorf("tcpnet: recv: bit %d outside dimension %d", bit, e.net.topo.Dim())
 	}
@@ -237,8 +243,9 @@ func (h *Host) ChargeKeyMove(n int) {
 
 // Send transmits from the host to a node over the host interface.
 func (h *Host) Send(node int, m wire.Message) error {
-	if !h.net.topo.Contains(node) {
-		return fmt.Errorf("tcpnet: host send: node %d outside cube of %d nodes", node, h.net.topo.Nodes())
+	if !h.net.topo.Contains(node) && !h.net.isSpare(node) {
+		return fmt.Errorf("tcpnet: host send: node %d outside cube of %d nodes (+%d spares)",
+			node, h.net.topo.Nodes(), h.net.spares)
 	}
 	m.From = wire.HostID
 	m.To = int32(node)

@@ -64,6 +64,13 @@ type Config struct {
 	// RecvTimeout bounds how long a Recv waits in wall-clock time.
 	// Zero means 2 seconds.
 	RecvTimeout time.Duration
+	// Spares is the number of spare nodes pre-registered beyond the
+	// cube: physical labels 2^Dim .. 2^Dim+Spares-1 get endpoints and
+	// real loopback host connections but no cube links. The sockets
+	// are dialed at New — a spare is a part that is already powered
+	// and reachable, sitting idle until a recovery remap promotes it
+	// into a future attempt's cube. Negative is treated as zero.
+	Spares int
 	// Tamper, indexed by node label, intercepts that node's outgoing
 	// node-to-node messages at the transport, modelling a Byzantine
 	// processor over real sockets. The hook runs after the sender has
@@ -92,6 +99,9 @@ type Network struct {
 	topo        hypercube.Topology
 	cost        transport.CostModel
 	recvTimeout time.Duration
+	// spares counts the idle spare endpoints registered beyond the
+	// cube; they own host links only.
+	spares int
 
 	// nodeConns[id][bit] is node id's connection to its partner across
 	// dimension bit. nodeHostWrite[id] is node id's side of its host
@@ -138,19 +148,24 @@ func New(cfg Config) (nw *Network, err error) {
 	if obsM == nil {
 		obsM = obs.DefaultMetrics()
 	}
+	spares := cfg.Spares
+	if spares < 0 {
+		spares = 0
+	}
 	n := topo.Nodes()
 	nw = &Network{
 		topo:          topo,
 		cost:          cost,
 		recvTimeout:   timeout,
+		spares:        spares,
 		obsM:          obsM,
 		tamper:        cfg.Tamper,
 		nodeConns:     make([][]net.Conn, n),
-		nodeHostWrite: make([]net.Conn, n),
-		hostConns:     make([]net.Conn, n),
+		nodeHostWrite: make([]net.Conn, n+spares),
+		hostConns:     make([]net.Conn, n+spares),
 		inboxes:       make([][]chan packet, n),
 		hostInbox:     make(chan packet, 4*n+16),
-		nodeHostInbox: make([]chan packet, n),
+		nodeHostInbox: make([]chan packet, n+spares),
 		closed:        make(chan struct{}),
 	}
 	defer func() {
@@ -187,8 +202,13 @@ func New(cfg Config) (nw *Network, err error) {
 			nw.startReader(c2, nw.inboxes[partner][b])
 		}
 	}
-	// Host links.
-	for id := 0; id < n; id++ {
+	// Host links — spares included: a spare's host socket is dialed
+	// now, so activating one later is a relabeling, not a connection
+	// setup.
+	for id := 0; id < n+spares; id++ {
+		if id >= n {
+			nw.nodeHostInbox[id] = make(chan packet, inboxDepth)
+		}
 		c1, c2, cerr := loopbackPair()
 		if cerr != nil {
 			return nil, fmt.Errorf("tcpnet: host link %d: %w", id, cerr)
@@ -200,6 +220,16 @@ func New(cfg Config) (nw *Network, err error) {
 		nw.startReader(c2, nw.hostInbox)
 	}
 	return nw, nil
+}
+
+// Spares returns the number of idle spare endpoints registered beyond
+// the cube.
+func (nw *Network) Spares() int { return nw.spares }
+
+// isSpare reports whether id names a registered spare (a label beyond
+// the cube with a host link but no cube links).
+func (nw *Network) isSpare(id int) bool {
+	return id >= nw.topo.Nodes() && id < nw.topo.Nodes()+nw.spares
 }
 
 // loopbackPair returns two ends of a real TCP connection over the
@@ -339,10 +369,14 @@ func (nw *Network) record(kind wire.Kind, n int) {
 }
 
 // Endpoint returns node id's endpoint. Call once per node before
-// starting its goroutine.
+// starting its goroutine. Spare labels (beyond the cube, when
+// Config.Spares pre-registered them) get endpoints with host links
+// only: their Send/Recv across cube dimensions fail until a recovery
+// remap promotes the spare into a future attempt's cube.
 func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
-	if !nw.topo.Contains(id) {
-		return nil, fmt.Errorf("tcpnet: node %d outside cube of %d nodes", id, nw.topo.Nodes())
+	if !nw.topo.Contains(id) && !nw.isSpare(id) {
+		return nil, fmt.Errorf("tcpnet: node %d outside cube of %d nodes (+%d spares)",
+			id, nw.topo.Nodes(), nw.spares)
 	}
 	e := &Endpoint{net: nw, id: id}
 	if id < len(nw.tamper) {

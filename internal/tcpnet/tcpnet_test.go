@@ -232,3 +232,52 @@ func TestDoubleCloseIsSafe(t *testing.T) {
 	nw.Close()
 	nw.Close()
 }
+
+// Spares are real pre-registered loopback connections: reachable over
+// the host socket while idle, but with no cube links.
+func TestSpareEndpointsOverTCP(t *testing.T) {
+	nw, err := New(Config{Dim: 2, Spares: 2, RecvTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if nw.Spares() != 2 {
+		t.Fatalf("Spares() = %d, want 2", nw.Spares())
+	}
+	spare, err := nw.Endpoint(5)
+	if err != nil {
+		t.Fatalf("spare endpoint: %v", err)
+	}
+	if _, err := nw.Endpoint(6); err == nil {
+		t.Error("Endpoint(6) beyond the spare pool: want error")
+	}
+	if err := spare.Send(0, wire.Message{Kind: wire.KindExchange}); err == nil {
+		t.Error("spare Send on a cube link: want error")
+	}
+	if _, err := spare.Recv(0); err == nil {
+		t.Error("spare Recv on a cube link: want error")
+	}
+
+	h := nw.Host()
+	if err := h.Send(5, wire.Message{Kind: wire.KindHostDownload,
+		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{11}})}); err != nil {
+		t.Fatalf("host -> spare: %v", err)
+	}
+	m, err := spare.RecvHost()
+	if err != nil {
+		t.Fatalf("spare RecvHost: %v", err)
+	}
+	if m.Kind != wire.KindHostDownload {
+		t.Fatalf("spare received %v", m.Kind)
+	}
+	if err := spare.SendHost(wire.Message{Kind: wire.KindHostUpload}); err != nil {
+		t.Fatalf("spare SendHost: %v", err)
+	}
+	reply, err := h.Recv()
+	if err != nil {
+		t.Fatalf("host Recv from spare: %v", err)
+	}
+	if reply.From != 5 || reply.Kind != wire.KindHostUpload {
+		t.Fatalf("host received %+v", reply)
+	}
+}
