@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeArgs is the smallest sweep that still exercises calibration,
+// validation, projection, and plotting end to end.
+func smokeArgs(extra ...string) []string {
+	args := []string{
+		"-dims", "2", "-loads", "0.4,0.8", "-spares", "0",
+		"-runs", "6", "-fitdims", "2,3,4", "-mttf", "1e6", "-maxprojdim", "8",
+		// Small samples wobble; the smoke test checks plumbing, not the
+		// acceptance tolerance (that lives in the experiments suite).
+		"-tol", "0.5",
+	}
+	return append(args, extra...)
+}
+
+func TestSmokeReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(smokeArgs(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"calibration",
+		"detection fraction",
+		"waste fraction",
+		"Validation — modeled vs measured",
+		"cells within tolerance",
+		"Figure 7 (faulty regime)",
+		"S_FT+repair MTTF=1e+06",
+		"Crossover",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONArtifactAndPlot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	var buf bytes.Buffer
+	if err := run(smokeArgs("-json", path, "-plot"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Modeled recovery overhead vs fault load") {
+		t.Errorf("missing overhead chart in:\n%s", out)
+	}
+	if !strings.Contains(out, "fitted model written to") {
+		t.Errorf("missing artifact note in:\n%s", out)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.CellsTotal != 2 || len(art.Validation) != 2 {
+		t.Errorf("artifact cells = %d validations = %d", art.CellsTotal, len(art.Validation))
+	}
+	if art.Calibration.Calib.DetectFrac <= 0 {
+		t.Errorf("artifact missing calibration: %+v", art.Calibration)
+	}
+	if art.Validation[0].Measured <= 0 {
+		t.Errorf("artifact missing measurement: %+v", art.Validation[0])
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-dims", "x"},
+		{"-dims", ""},
+		{"-loads", "fast"},
+		{"-mttf", ","},
+		{"-dims", "1"}, // below the sweep's minimum dimension
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

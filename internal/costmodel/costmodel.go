@@ -10,6 +10,7 @@ package costmodel
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/stats"
 )
@@ -90,19 +91,26 @@ func (f Formula) Eval(n float64) (float64, error) {
 	return s, nil
 }
 
-// String renders the formula in the paper's style.
+// String renders the formula in the paper's style. Fitted formulas can
+// carry negative coefficients, which render with a subtraction joiner
+// (8·lg²N − 0.3·N), never as "+ -0.3·N".
 func (f Formula) String() string {
 	if len(f) == 0 {
 		return "0"
 	}
-	out := ""
+	var b strings.Builder
 	for i, t := range f {
-		if i > 0 {
-			out += " + "
+		switch {
+		case i == 0 && t.Coef < 0:
+			b.WriteString("−")
+		case i > 0 && t.Coef < 0:
+			b.WriteString(" − ")
+		case i > 0:
+			b.WriteString(" + ")
 		}
-		out += fmt.Sprintf("%.4g·%s", t.Coef, t.Basis)
+		fmt.Fprintf(&b, "%.4g·%s", math.Abs(t.Coef), t.Basis)
 	}
-	return out
+	return b.String()
 }
 
 // Model is a per-algorithm cost model: separate communication and
@@ -112,6 +120,19 @@ type Model struct {
 	Comm Formula
 	Comp Formula
 }
+
+// Coster is anything that can price a run at N nodes: the formula
+// Models of this file, and the recovery-aware models of recovery.go
+// whose totals come from a probability-mass recursion rather than a
+// closed-form formula. Project, Crossover and LimitRatio accept any
+// Coster so fault-free and faulty regimes share one projection path.
+type Coster interface {
+	CostName() string
+	Total(n float64) (float64, error)
+}
+
+// CostName names the model for projection tables.
+func (m Model) CostName() string { return m.Name }
 
 // Total evaluates comm+comp at N nodes.
 func (m Model) Total(n float64) (float64, error) {
@@ -159,34 +180,49 @@ type Point struct {
 // points by least squares, returning a Model with the recovered
 // constants — the reproduction's analogue of the paper's table.
 func Fit(name string, points []Point, commBases, compBases []Basis) (Model, error) {
-	comm, err := fitFormula(points, commBases, func(p Point) float64 { return p.Comm })
+	ns := make([]int, len(points))
+	comms := make([]float64, len(points))
+	comps := make([]float64, len(points))
+	for i, p := range points {
+		ns[i] = p.N
+		comms[i] = p.Comm
+		comps[i] = p.Comp
+	}
+	comm, err := FitSeries(ns, comms, commBases)
 	if err != nil {
 		return Model{}, fmt.Errorf("costmodel: fit %s comm: %w", name, err)
 	}
-	comp, err := fitFormula(points, compBases, func(p Point) float64 { return p.Comp })
+	comp, err := FitSeries(ns, comps, compBases)
 	if err != nil {
 		return Model{}, fmt.Errorf("costmodel: fit %s comp: %w", name, err)
 	}
 	return Model{Name: name, Comm: comm, Comp: comp}, nil
 }
 
-func fitFormula(points []Point, bases []Basis, get func(Point) float64) (Formula, error) {
+// FitSeries fits one formula over the given bases to a single measured
+// series y[i] at ns[i] nodes — the one-component companion of Fit,
+// used for makespan-style series that have no comm/comp split (the
+// recovery calibration's per-attempt cost curves).
+func FitSeries(ns []int, ys []float64, bases []Basis) (Formula, error) {
 	if len(bases) == 0 {
 		return nil, fmt.Errorf("no bases")
 	}
-	X := make([][]float64, len(points))
-	y := make([]float64, len(points))
-	for i, p := range points {
+	if len(ns) != len(ys) {
+		return nil, fmt.Errorf("costmodel: %d sizes vs %d observations", len(ns), len(ys))
+	}
+	X := make([][]float64, len(ns))
+	y := make([]float64, len(ns))
+	for i, n := range ns {
 		row := make([]float64, len(bases))
 		for j, b := range bases {
-			v, err := b.Eval(float64(p.N))
+			v, err := b.Eval(float64(n))
 			if err != nil {
 				return nil, err
 			}
 			row[j] = v
 		}
 		X[i] = row
-		y[i] = get(p)
+		y[i] = ys[i]
 	}
 	coef, err := stats.LeastSquares(X, y)
 	if err != nil {
@@ -199,29 +235,40 @@ func fitFormula(points []Point, bases []Basis, get func(Point) float64) (Formula
 	return f, nil
 }
 
-// FitQuality returns R² of the model's total against the points.
-func FitQuality(m Model, points []Point) (commR2, compR2 float64, err error) {
-	var comm, commPred, comp, compPred []float64
+// FitQuality returns the fit quality of the model against the points,
+// per component and in total: commR2 and compR2 are the R² of the comm
+// and comp formulas against the points' comm and comp series
+// separately, and totalR2 is the R² of comm+comp against the points'
+// summed observations — the single number that scores the model's
+// Total predictions.
+func FitQuality(m Model, points []Point) (commR2, compR2, totalR2 float64, err error) {
+	var comm, commPred, comp, compPred, total, totalPred []float64
 	for _, p := range points {
 		cm, err := m.Comm.Eval(float64(p.N))
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		cp, err := m.Comp.Eval(float64(p.N))
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		comm = append(comm, p.Comm)
 		commPred = append(commPred, cm)
 		comp = append(comp, p.Comp)
 		compPred = append(compPred, cp)
+		total = append(total, p.Comm+p.Comp)
+		totalPred = append(totalPred, cm+cp)
 	}
 	commR2, err = stats.RSquared(comm, commPred)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	compR2, err = stats.RSquared(comp, compPred)
-	return commR2, compR2, err
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	totalR2, err = stats.RSquared(total, totalPred)
+	return commR2, compR2, totalR2, err
 }
 
 // ProjectionRow is one line of the Figure 7 projection table.
@@ -231,7 +278,7 @@ type ProjectionRow struct {
 }
 
 // Project evaluates the models at N = 2^minDim .. 2^maxDim.
-func Project(models []Model, minDim, maxDim int) ([]ProjectionRow, error) {
+func Project(models []Coster, minDim, maxDim int) ([]ProjectionRow, error) {
 	if minDim < 1 || maxDim < minDim {
 		return nil, fmt.Errorf("costmodel: bad projection range [%d,%d]", minDim, maxDim)
 	}
@@ -255,8 +302,8 @@ func Project(models []Model, minDim, maxDim int) ([]ProjectionRow, error) {
 // which model a's total is below model b's, or 0 when a never wins in
 // the range — the Figure 7 question "when does reliable parallel
 // sorting beat host sorting".
-func Crossover(a, b Model, minDim, maxDim int) (int, error) {
-	rows, err := Project([]Model{a, b}, minDim, maxDim)
+func Crossover(a, b Coster, minDim, maxDim int) (int, error) {
+	rows, err := Project([]Coster{a, b}, minDim, maxDim)
 	if err != nil {
 		return 0, err
 	}
@@ -271,7 +318,7 @@ func Crossover(a, b Model, minDim, maxDim int) (int, error) {
 // LimitRatio returns the asymptotic-ish ratio a.Total/b.Total at the
 // given (large) N — the paper's closing observation that reliable
 // parallel sorting tends to ~11% of sequential cost.
-func LimitRatio(a, b Model, n float64) (float64, error) {
+func LimitRatio(a, b Coster, n float64) (float64, error) {
 	ta, err := a.Total(n)
 	if err != nil {
 		return 0, err

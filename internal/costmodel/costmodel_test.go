@@ -1,9 +1,12 @@
 package costmodel
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func TestBasisEval(t *testing.T) {
@@ -75,6 +78,28 @@ func TestFormulaString(t *testing.T) {
 	}
 }
 
+// Fitted formulas can carry negative coefficients; they must render
+// with a subtraction joiner, never as "+ -0.3·N".
+func TestFormulaStringNegativeCoefficients(t *testing.T) {
+	tests := []struct {
+		f    Formula
+		want string
+	}{
+		{Formula{{Coef: 8, Basis: BasisLg2N}, {Coef: -0.3, Basis: BasisN}}, "8·lg²N − 0.3·N"},
+		{Formula{{Coef: -2, Basis: BasisLgN}}, "−2·lgN"},
+		{Formula{{Coef: -1.5, Basis: BasisOne}, {Coef: 4, Basis: BasisN}}, "−1.5·1 + 4·N"},
+		{Formula{{Coef: -1, Basis: BasisLgN}, {Coef: -2, Basis: BasisN}}, "−1·lgN − 2·N"},
+	}
+	for _, tc := range tests {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+		if got := tc.f.String(); strings.Contains(got, "+ -") || strings.Contains(got, "+ −") {
+			t.Errorf("String %q still renders additive negative terms", got)
+		}
+	}
+}
+
 func TestFitRecoversKnownModel(t *testing.T) {
 	truth := PaperSFT()
 	var pts []Point
@@ -100,12 +125,12 @@ func TestFitRecoversKnownModel(t *testing.T) {
 	if math.Abs(m.Comp[0].Coef-11.5) > 1e-6 {
 		t.Errorf("recovered comp = %v", m.Comp)
 	}
-	commR2, compR2, err := FitQuality(m, pts)
+	commR2, compR2, totalR2, err := FitQuality(m, pts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if commR2 < 0.9999 || compR2 < 0.9999 {
-		t.Errorf("R² = %v/%v", commR2, compR2)
+	if commR2 < 0.9999 || compR2 < 0.9999 || totalR2 < 0.9999 {
+		t.Errorf("R² = %v/%v/%v", commR2, compR2, totalR2)
 	}
 }
 
@@ -116,6 +141,74 @@ func TestFitValidation(t *testing.T) {
 	pts := []Point{{N: 4, Comm: 1, Comp: 1}, {N: 8, Comm: 2, Comp: 2}}
 	if _, err := Fit("x", pts, nil, []Basis{BasisN}); err == nil {
 		t.Error("no comm bases: want error")
+	}
+}
+
+// An underdetermined point set (fewer observations than bases) must
+// surface the solver's singularity error, not silently produce junk
+// coefficients.
+func TestFitUnderdetermined(t *testing.T) {
+	pts := []Point{{N: 8, Comm: 5, Comp: 3}}
+	_, err := Fit("under", pts, []Basis{BasisLg2N, BasisN}, []Basis{BasisN})
+	if !errors.Is(err, stats.ErrSingular) {
+		t.Errorf("underdetermined fit: err = %v, want ErrSingular", err)
+	}
+	// Same count of points as bases but a rank-deficient design matrix
+	// (duplicate N values) is singular too.
+	dup := []Point{{N: 8, Comm: 5, Comp: 3}, {N: 8, Comm: 5, Comp: 3}}
+	_, err = Fit("dup", dup, []Basis{BasisLg2N, BasisN}, []Basis{BasisN})
+	if !errors.Is(err, stats.ErrSingular) {
+		t.Errorf("rank-deficient fit: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFitSeriesValidation(t *testing.T) {
+	if _, err := FitSeries([]int{4, 8}, []float64{1}, []Basis{BasisN}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := FitSeries([]int{4}, []float64{1}, nil); err == nil {
+		t.Error("no bases: want error")
+	}
+	f, err := FitSeries([]int{2, 4, 8}, []float64{6, 12, 24}, []Basis{BasisN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f[0].Coef-3) > 1e-9 {
+		t.Errorf("fitted coef = %v, want 3", f[0].Coef)
+	}
+}
+
+// FitQuality's three returns pinned against hand-computed R² values:
+// comm obs {2,4,10} vs pred {2,4,8} → 23/26; comp obs {3,4,8} vs pred
+// {2,4,8} → 13/14; total obs {5,8,18} vs pred {4,8,16} → 1 − 45/834.
+func TestFitQualityPinned(t *testing.T) {
+	m := Model{
+		Name: "unit",
+		Comm: Formula{{Coef: 1, Basis: BasisN}},
+		Comp: Formula{{Coef: 1, Basis: BasisN}},
+	}
+	pts := []Point{
+		{N: 2, Comm: 2, Comp: 3},
+		{N: 4, Comm: 4, Comp: 4},
+		{N: 8, Comm: 10, Comp: 8},
+	}
+	commR2, compR2, totalR2, err := FitQuality(m, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 23.0 / 26.0; math.Abs(commR2-want) > 1e-12 {
+		t.Errorf("comm R² = %v, want %v", commR2, want)
+	}
+	if want := 13.0 / 14.0; math.Abs(compR2-want) > 1e-12 {
+		t.Errorf("comp R² = %v, want %v", compR2, want)
+	}
+	if want := 1.0 - 45.0/834.0; math.Abs(totalR2-want) > 1e-12 {
+		t.Errorf("total R² = %v, want %v", totalR2, want)
+	}
+	// Total R² is its own series' fit, not a blend of the component
+	// scores: it must differ from both here.
+	if totalR2 == commR2 || totalR2 == compR2 {
+		t.Errorf("total R² %v suspiciously equals a component score", totalR2)
 	}
 }
 
@@ -180,7 +273,7 @@ func TestAsymptoticRatioEdges(t *testing.T) {
 }
 
 func TestProject(t *testing.T) {
-	rows, err := Project([]Model{PaperSFT(), PaperSequential()}, 2, 5)
+	rows, err := Project([]Coster{PaperSFT(), PaperSequential()}, 2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,6 +290,34 @@ func TestProject(t *testing.T) {
 	}
 	if _, err := Project(nil, 5, 2); err == nil {
 		t.Error("inverted range: want error")
+	}
+}
+
+// Project, Crossover and LimitRatio must propagate Eval failures from
+// malformed formulas and reject bad dimension ranges.
+func TestProjectionErrorPaths(t *testing.T) {
+	bad := Model{Name: "bad", Comm: Formula{{Coef: 1, Basis: Basis(99)}}}
+	good := PaperSFT()
+	if _, err := Project([]Coster{bad}, 2, 3); err == nil {
+		t.Error("Project with unknown basis: want error")
+	}
+	if _, err := Crossover(bad, good, 2, 3); err == nil {
+		t.Error("Crossover with unknown basis: want error")
+	}
+	if _, err := Crossover(good, good, 0, 3); err == nil {
+		t.Error("Crossover minDim 0: want error")
+	}
+	if _, err := Crossover(good, good, 4, 2); err == nil {
+		t.Error("Crossover inverted range: want error")
+	}
+	if _, err := LimitRatio(bad, good, 16); err == nil {
+		t.Error("LimitRatio bad numerator: want error")
+	}
+	if _, err := LimitRatio(good, bad, 16); err == nil {
+		t.Error("LimitRatio bad denominator: want error")
+	}
+	if _, err := LimitRatio(good, PaperSequential(), 0.5); err == nil {
+		t.Error("LimitRatio at N<1: want error")
 	}
 }
 

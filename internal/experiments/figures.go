@@ -17,8 +17,10 @@ type Table1Result struct {
 	SeqPoints  []costmodel.Point
 	SFTCommR2  float64
 	SFTCompR2  float64
+	SFTTotalR2 float64
 	SeqCommR2  float64
 	SeqCompR2  float64
+	SeqTotalR2 float64
 }
 
 // Table1 sweeps the given cube dimensions, measures S_FT and the host
@@ -71,11 +73,11 @@ func Table1(dims []int, seed int64) (Table1Result, error) {
 	if err != nil {
 		return Table1Result{}, err
 	}
-	res.SFTCommR2, res.SFTCompR2, err = costmodel.FitQuality(res.SFT, res.SFTPoints)
+	res.SFTCommR2, res.SFTCompR2, res.SFTTotalR2, err = costmodel.FitQuality(res.SFT, res.SFTPoints)
 	if err != nil {
 		return Table1Result{}, err
 	}
-	res.SeqCommR2, res.SeqCompR2, err = costmodel.FitQuality(res.Sequential, res.SeqPoints)
+	res.SeqCommR2, res.SeqCompR2, res.SeqTotalR2, err = costmodel.FitQuality(res.Sequential, res.SeqPoints)
 	if err != nil {
 		return Table1Result{}, err
 	}
@@ -91,8 +93,8 @@ func (t Table1Result) Render() string {
 	fmt.Fprintf(&b, "%-12s  %-34s  %-26s\n", "  (paper)", costmodel.PaperSFT().Comm.String(), costmodel.PaperSFT().Comp.String())
 	fmt.Fprintf(&b, "%-12s  %-34s  %-26s\n", "Sequential", t.Sequential.Comm.String(), t.Sequential.Comp.String())
 	fmt.Fprintf(&b, "%-12s  %-34s  %-26s\n", "  (paper)", costmodel.PaperSequential().Comm.String(), costmodel.PaperSequential().Comp.String())
-	fmt.Fprintf(&b, "\nFit quality: S_FT comm R²=%.4f comp R²=%.4f; Sequential comm R²=%.4f comp R²=%.4f\n",
-		t.SFTCommR2, t.SFTCompR2, t.SeqCommR2, t.SeqCompR2)
+	fmt.Fprintf(&b, "\nFit quality: S_FT comm R²=%.4f comp R²=%.4f total R²=%.4f; Sequential comm R²=%.4f comp R²=%.4f total R²=%.4f\n",
+		t.SFTCommR2, t.SFTCompR2, t.SFTTotalR2, t.SeqCommR2, t.SeqCompR2, t.SeqTotalR2)
 	return b.String()
 }
 
@@ -198,8 +200,9 @@ type Figure7Result struct {
 	Title string
 	Rows  []costmodel.ProjectionRow
 	// Models in row order: measured S_FT, measured Sequential,
-	// paper S_FT, paper Sequential.
-	Models []costmodel.Model
+	// paper S_FT, paper Sequential. Faulty-regime projections mix
+	// formula models with recovery-aware ones, hence Coster.
+	Models []costmodel.Coster
 	// MeasuredCrossover and PaperCrossover are the smallest N where
 	// S_FT beats the host sort under each pair of models.
 	MeasuredCrossover int
@@ -211,7 +214,7 @@ type Figure7Result struct {
 
 // Figure7 projects the fitted and paper models to large cubes.
 func Figure7(fit Table1Result, minDim, maxDim int) (Figure7Result, error) {
-	models := []costmodel.Model{fit.SFT, fit.Sequential, costmodel.PaperSFT(), costmodel.PaperSequential()}
+	models := []costmodel.Coster{fit.SFT, fit.Sequential, costmodel.PaperSFT(), costmodel.PaperSequential()}
 	rows, err := costmodel.Project(models, minDim, maxDim)
 	if err != nil {
 		return Figure7Result{}, err
@@ -247,7 +250,7 @@ func (f Figure7Result) Render() string {
 	fmt.Fprintf(&b, "%s\n\n", title)
 	fmt.Fprintf(&b, "%10s", "N")
 	for _, m := range f.Models {
-		fmt.Fprintf(&b, "  %22s", m.Name)
+		fmt.Fprintf(&b, "  %22s", m.CostName())
 	}
 	fmt.Fprintln(&b)
 	for _, r := range f.Rows {
@@ -293,7 +296,7 @@ func Figure8Projection(res Figure8Result, minDim, maxDim int) (Figure7Result, er
 	}
 	paperFT := costmodel.ScaleByBlock(costmodel.PaperSFT(), m)
 	paperHost := costmodel.ScaleByBlock(costmodel.PaperSequential(), m)
-	models := []costmodel.Model{ft, host, paperFT, paperHost}
+	models := []costmodel.Coster{ft, host, paperFT, paperHost}
 	rows, err := costmodel.Project(models, minDim, maxDim)
 	if err != nil {
 		return Figure7Result{}, err

@@ -57,8 +57,8 @@ func (f Figure7Result) Plot() (string, error) {
 		XTicks: ticks,
 		LogY:   true,
 	}, []plot.Series{
-		{Name: f.Models[0].Name, Rune: 'F', Y: a},
-		{Name: f.Models[1].Name, Rune: 'h', Y: b},
+		{Name: f.Models[0].CostName(), Rune: 'F', Y: a},
+		{Name: f.Models[1].CostName(), Rune: 'h', Y: b},
 	})
 }
 

@@ -51,6 +51,15 @@ type Metrics struct {
 	RecoverySubstitutions *Counter
 	RecoveryWastedVTicks  *Counter
 	RecoveryBackoffNanos  *Counter
+
+	// CostModelCells, CostModelWithin and CostModelDevPpm track the
+	// recovery-aware cost model's predictive quality: validated sweep
+	// cells, how many predicted measured expected ticks within the
+	// acceptance tolerance, and the absolute relative deviation in
+	// parts per million.
+	CostModelCells  *Counter
+	CostModelWithin *Counter
+	CostModelDevPpm *Histogram
 }
 
 // NewMetrics registers the standard instrument set on reg and returns
@@ -96,6 +105,13 @@ func NewMetrics(reg *Registry) *Metrics {
 		"Virtual time burned by failed attempts (the recovery cost series).")
 	m.RecoveryBackoffNanos = reg.Counter("recovery_backoff_nanos_total",
 		"Wall-clock nanoseconds spent in between-attempt backoff.")
+	m.CostModelCells = reg.Counter("recovery_costmodel_cells_total",
+		"Sweep cells validated against the recovery-aware cost model.")
+	m.CostModelWithin = reg.Counter("recovery_costmodel_within_tolerance_total",
+		"Validated cells whose modeled expected ticks matched measurement within tolerance.")
+	m.CostModelDevPpm = reg.Histogram("recovery_costmodel_abs_deviation_ppm",
+		"Absolute modeled-vs-measured deviation of expected total vticks, in parts per million.",
+		[]int64{1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000})
 	return m
 }
 
@@ -403,6 +419,21 @@ func (o *Observer) Substitution(suspect, spare, attempt int) {
 	}
 	o.J.Append(Event{Kind: EvSubstitution,
 		Node: int32(suspect), Stage: int32(attempt), Iter: -1, Aux: int64(spare)})
+}
+
+// CostModelPoint records one modeled-vs-measured validation of the
+// recovery-aware cost model: the absolute relative deviation of the
+// predicted expected total vticks (as a fraction; recorded in ppm) and
+// whether it landed within the acceptance tolerance.
+func (o *Observer) CostModelPoint(absRelDev float64, withinTol bool) {
+	if o == nil || o.M == nil {
+		return
+	}
+	o.M.CostModelCells.Inc()
+	if withinTol {
+		o.M.CostModelWithin.Inc()
+	}
+	o.M.CostModelDevPpm.Observe(int64(absRelDev * 1e6))
 }
 
 // Backoff records a between-attempt wait.

@@ -26,11 +26,13 @@ package chaostest
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/blocksort"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/reliablesort"
 	"repro/internal/tcpnet"
@@ -153,12 +155,148 @@ func Injector(st fault.Strategy, site int, persistent bool) func(attempt, dim in
 	}
 }
 
+// RateConfig parameterizes a RateInjector: a memoryless fault-arrival
+// process in the MTTF framing of the recovery-aware cost model
+// (internal/costmodel.FaultRegime), rather than the single scripted
+// fault of a Scenario.
+type RateConfig struct {
+	// MTTF is the per-node mean virtual time between fault arrivals,
+	// in vticks. The probability that some fault arrives during an
+	// attempt of T ticks on n nodes is 1 − exp(−n·T/MTTF).
+	MTTF float64
+	// Baselines maps cube dimension → fault-free attempt vticks for
+	// the workload under test; the injector prices each attempt's
+	// exposure window with the same numbers the cost model uses, so
+	// measured and modeled arrival rates agree exactly.
+	Baselines map[int]float64
+	// PersistentFrac is the probability an arrival is persistent: it
+	// re-manifests at its site every attempt until the site is
+	// quarantined out of the cube.
+	PersistentFrac float64
+	// Strategies is the Byzantine behaviour pool, drawn uniformly per
+	// arrival. Calibration sweeps restrict it to strongly attributed
+	// strategies so the supervisor's suspect ranking names the
+	// injected site.
+	Strategies []fault.Strategy
+	// Seed drives the injector's private arrival/site/strategy stream.
+	Seed int64
+}
+
+// RateInjector drives a rate-based fault process through
+// reliablesort.Options.Inject. It is stateful: a persistent arrival
+// follows its physical site through remaps until quarantined, and at
+// most one fault is active at a time (the single-fault regime of the
+// paper's Theorem 3, which both the detection guarantee and the cost
+// model's recursion assume).
+type RateInjector struct {
+	cfg RateConfig
+	rng *rand.Rand
+
+	// activeSite/activeStrategy describe the live persistent fault;
+	// activeSite < 0 means none.
+	activeSite     int
+	activeStrategy fault.Strategy
+	// lastSite is the most recently manifested site. New arrivals
+	// avoid it so a transient episode and an unrelated follow-up at
+	// the same site cannot masquerade as a persistent streak — real
+	// independent arrivals on distinct parts, which is also exactly
+	// what the cost model's state machine prices.
+	lastSite int
+
+	// Manifestations counts attempts in which a fault was active —
+	// the denominator of the measured detection fraction.
+	Manifestations int64
+	// Arrivals counts fresh fault arrivals (first manifestations).
+	Arrivals int64
+}
+
+// NewRateInjector returns a rate injector for one supervision. Each
+// supervised run needs its own injector (state follows the attempt
+// sequence).
+func NewRateInjector(cfg RateConfig) *RateInjector {
+	return &RateInjector{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		activeSite: -1,
+		lastSite:   -1,
+	}
+}
+
+// Inject implements reliablesort.Options.Inject for the rate process.
+func (ri *RateInjector) Inject(attempt, dim int, physical []int) []blocksort.Options {
+	opts := make([]blocksort.Options, 1<<uint(dim))
+	// A live persistent fault re-manifests while its site is mapped;
+	// once quarantine removed the site, the episode is over.
+	if ri.activeSite >= 0 {
+		for l, ph := range physical {
+			if ph == ri.activeSite {
+				ri.manifest(opts, l, ri.activeStrategy)
+				ri.lastSite = ri.activeSite
+				return opts
+			}
+		}
+		ri.activeSite = -1
+	}
+	t, ok := ri.cfg.Baselines[dim]
+	if !ok || ri.cfg.MTTF <= 0 || len(ri.cfg.Strategies) == 0 {
+		return opts
+	}
+	p := 1 - math.Exp(-float64(int64(1)<<uint(dim))*t/ri.cfg.MTTF)
+	if ri.rng.Float64() >= p {
+		return opts
+	}
+	// Fresh arrival: uniform over mapped sites, avoiding the most
+	// recently manifested one.
+	site := ri.pickSite(physical)
+	if site < 0 {
+		return opts
+	}
+	st := ri.cfg.Strategies[ri.rng.Intn(len(ri.cfg.Strategies))]
+	if ri.rng.Float64() < ri.cfg.PersistentFrac {
+		ri.activeSite, ri.activeStrategy = site, st
+	}
+	ri.Arrivals++
+	for l, ph := range physical {
+		if ph == site {
+			ri.manifest(opts, l, st)
+			break
+		}
+	}
+	ri.lastSite = site
+	return opts
+}
+
+func (ri *RateInjector) manifest(opts []blocksort.Options, logical int, st fault.Strategy) {
+	spec := fault.Spec{Node: logical, Strategy: st, ActivateStage: 1, LieValue: 7777}
+	opts[logical] = blocksort.Options{SkipChecks: true, Tamper: spec.Tamper()}
+	ri.Manifestations++
+}
+
+func (ri *RateInjector) pickSite(physical []int) int {
+	candidates := make([]int, 0, len(physical))
+	for _, ph := range physical {
+		if ph != ri.lastSite {
+			candidates = append(candidates, ph)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = physical
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[ri.rng.Intn(len(candidates))]
+}
+
 // Result is everything one supervised scenario produced.
 type Result struct {
 	In    []int64
 	Out   []int64
 	Stats reliablesort.Stats
 	Err   error
+	// Obs is the run's private observer; its recovery counters are
+	// cross-checked against the supervisor's Report by Check.
+	Obs *obs.Observer
 }
 
 // RecvTimeout returns the absence-detection timeout used for the
@@ -182,9 +320,13 @@ func TCPNetwork(cfg reliablesort.NetConfig) (transport.Network, error) {
 	})
 }
 
-// Run supervises the scenario to completion over the transport.
+// Run supervises the scenario to completion over the transport. Every
+// run gets a private observer so the supervisor's telemetry counters
+// can be cross-checked against its Report without interference from
+// concurrent scenarios.
 func Run(sc Scenario, tr Transport) Result {
 	keys := Workload(sc)
+	o := obs.New(obs.NewRegistry(), 256)
 	opts := reliablesort.Options{
 		Dim:         sc.Dim,
 		RecvTimeout: RecvTimeout(tr),
@@ -194,12 +336,13 @@ func Run(sc Scenario, tr Transport) Result {
 		Sleep:       func(time.Duration) {},
 		Seed:        sc.Seed | 1,
 		Inject:      Injector(sc.Strategy, sc.Site, sc.Persistent),
+		Obs:         o,
 	}
 	if tr == TCP {
 		opts.NewNetwork = TCPNetwork
 	}
 	out, stats, err := reliablesort.Sort(keys, opts)
-	return Result{In: keys, Out: out, Stats: stats, Err: err}
+	return Result{In: keys, Out: out, Stats: stats, Err: err, Obs: o}
 }
 
 // Check runs the full invariant battery against a scenario's result.
@@ -225,7 +368,7 @@ func Check(sc Scenario, r Result) error {
 			rep.WastedCost += a.Cost
 			rep.TotalBackoff += a.Backoff
 		}
-		if err := VerifyReport(rep); err != nil {
+		if err := VerifyReport(rep, r.Obs.Metrics()); err != nil {
 			return err
 		}
 		return checkAttemptHistory(sc, rep)
@@ -238,7 +381,7 @@ func Check(sc Scenario, r Result) error {
 	if rep == nil {
 		return errors.New("AutoRecover success without recovery report")
 	}
-	if err := VerifyReport(rep); err != nil {
+	if err := VerifyReport(rep, r.Obs.Metrics()); err != nil {
 		return err
 	}
 	if err := checkAttemptHistory(sc, rep); err != nil {
@@ -359,7 +502,14 @@ func checkAttemptHistory(sc Scenario, rep *recovery.Report) error {
 //     order;
 //   - each attempt's logical→physical map is a well-formed injective
 //     relabeling that reflects the previous attempt's repair.
-func VerifyReport(rep *recovery.Report) error {
+//
+// When m is non-nil it must be the run's private metrics bundle; the
+// report is additionally cross-checked against the observability
+// series the supervisor emitted — TotalBackoff against the backoff
+// counter, WastedCost against the wasted-vticks counter, and the
+// attempt/quarantine/substitution counts against theirs — so a drift
+// between the Report and the obs layer fails every chaos run.
+func VerifyReport(rep *recovery.Report, m *obs.Metrics) error {
 	var wasted int64
 	var backoff time.Duration
 	var quarantined []int
@@ -439,6 +589,30 @@ func VerifyReport(rep *recovery.Report) error {
 	}
 	if n := len(rep.Attempts); n > 0 && rep.FinalDim != rep.Attempts[n-1].Dim {
 		return fmt.Errorf("FinalDim = %d, last attempt ran at %d", rep.FinalDim, rep.Attempts[n-1].Dim)
+	}
+	if m != nil {
+		verified := int64(0)
+		if n := len(rep.Attempts); n > 0 && rep.Attempts[n-1].Verified {
+			verified = 1
+		}
+		checks := []struct {
+			name string
+			got  int64
+			want int64
+		}{
+			{"recovery_attempts_total", m.RecoveryAttempts.Value(), int64(len(rep.Attempts))},
+			{"recovery_retries_total", m.RecoveryRetries.Value(), int64(max(0, len(rep.Attempts)-1))},
+			{"recovery_verified_total", m.RecoveryVerified.Value(), verified},
+			{"recovery_quarantines_total", m.RecoveryQuarantines.Value(), int64(len(rep.Quarantined))},
+			{"recovery_substitutions_total", m.RecoverySubstitutions.Value(), int64(len(rep.Substitutions))},
+			{"recovery_wasted_vticks_total", m.RecoveryWastedVTicks.Value(), rep.WastedCost},
+			{"recovery_backoff_nanos_total", m.RecoveryBackoffNanos.Value(), int64(rep.TotalBackoff)},
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				return fmt.Errorf("obs %s = %d, report says %d", c.name, c.got, c.want)
+			}
+		}
 	}
 	// Dimension/mapping trajectory: each repair is reflected in the
 	// next attempt's plan.

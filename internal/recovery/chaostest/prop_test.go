@@ -91,7 +91,7 @@ func TestReportSelfConsistencyProperty(t *testing.T) {
 				rep.TotalBackoff += a.Backoff
 			}
 		}
-		if err := VerifyReport(rep); err != nil {
+		if err := VerifyReport(rep, nil); err != nil {
 			t.Fatalf("run %d (seed %d, dim %d, spares %d): %v\nattempts: %+v",
 				i, runSeed, dim, len(spares), err, rep.Attempts)
 		}
