@@ -148,6 +148,18 @@ func bsort(xs []int64, ascending bool) int {
 	return c
 }
 
+// Comparator reports whether a orders at or before b — the honest
+// comparator is Leq (a <= b). The compare paths of the distributed
+// sorts are pluggable through this hook so fault injection can model
+// comparators that lie (Geissmann et al.'s persistent random
+// comparison faults): a lying comparator changes which keys travel
+// where without touching any message, the adversary axis the Φ
+// predicates must catch at the application level.
+type Comparator func(a, b int64) bool
+
+// Leq is the honest comparator.
+func Leq(a, b int64) bool { return a <= b }
+
 // MergeSplit is the block-sorting compare-exchange (Section 5's
 // bitonic sort/merge with m elements per node): given two sorted
 // ascending blocks a and b of equal length m, it returns the smallest
@@ -176,6 +188,43 @@ func MergeSplitInto(dst []int64, a, b []int64) (lo, hi []int64, compares int, er
 	for i < m && j < m {
 		compares++
 		if a[i] <= b[j] {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	lo = merged[:m:m]
+	hi = merged[m:]
+	return lo, hi, compares, nil
+}
+
+// MergeSplitFuncInto is MergeSplitInto with a pluggable comparator: the
+// linear merge consults leq instead of the machine's <=. It exists for
+// comparison-fault injection — a lying leq silently misroutes keys —
+// and is kept separate from MergeSplitInto so the honest hot path pays
+// no indirect call.
+func MergeSplitFuncInto(dst []int64, a, b []int64, leq Comparator) (lo, hi []int64, compares int, err error) {
+	if leq == nil {
+		return MergeSplitInto(dst, a, b)
+	}
+	if len(a) != len(b) {
+		return nil, nil, 0, fmt.Errorf("bitonic: merge-split blocks differ in length: %d vs %d", len(a), len(b))
+	}
+	m := len(a)
+	var merged []int64
+	if cap(dst) < 2*m {
+		merged = make([]int64, 0, 2*m)
+	} else {
+		merged = dst[:0]
+	}
+	i, j := 0, 0
+	for i < m && j < m {
+		compares++
+		if leq(a[i], b[j]) {
 			merged = append(merged, a[i])
 			i++
 		} else {

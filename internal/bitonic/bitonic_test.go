@@ -372,3 +372,97 @@ func TestMinMax(t *testing.T) {
 		t.Error("empty MinMax: want error")
 	}
 }
+
+func TestMergeSplitFuncIntoHonest(t *testing.T) {
+	// With the honest comparator (or nil) the pluggable merge must be
+	// indistinguishable from MergeSplitInto, comparison count included.
+	f := func(av, bv []int16) bool {
+		m := len(av)
+		if len(bv) < m {
+			m = len(bv)
+		}
+		if m == 0 {
+			return true
+		}
+		a := make([]int64, m)
+		b := make([]int64, m)
+		for i := 0; i < m; i++ {
+			a[i], b[i] = int64(av[i]), int64(bv[i])
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		wantLo, wantHi, wantC, err := MergeSplitInto(nil, a, b)
+		if err != nil {
+			return false
+		}
+		for _, leq := range []Comparator{Leq, nil} {
+			lo, hi, c, err := MergeSplitFuncInto(nil, a, b, leq)
+			if err != nil || c != wantC {
+				return false
+			}
+			for i := 0; i < m; i++ {
+				if lo[i] != wantLo[i] || hi[i] != wantHi[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSplitFuncIntoLyingComparator(t *testing.T) {
+	// An inverted comparator misroutes keys but still emits a
+	// permutation of the inputs — the property that makes comparison
+	// faults invisible to everything except order-sensitive predicates.
+	a := []int64{1, 5, 9}
+	b := []int64{2, 3, 10}
+	lo, hi, c, err := MergeSplitFuncInto(nil, a, b, func(x, y int64) bool { return x > y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == 0 {
+		t.Error("zero comparisons reported")
+	}
+	got := append(append([]int64{}, lo...), hi...)
+	want := append(append([]int64{}, a...), b...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge with lying comparator lost keys: lo=%v hi=%v", lo, hi)
+		}
+	}
+	// The inverted merge must differ from the honest one somewhere.
+	honestLo, _, _, err := MergeSplitInto(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range honestLo {
+		if lo[i] != honestLo[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("inverted comparator produced the honest split: lo=%v", lo)
+	}
+	if _, _, _, err := MergeSplitFuncInto(nil, []int64{1}, []int64{1, 2}, Leq); err == nil {
+		t.Error("mismatched block lengths: want error")
+	}
+}
+
+func TestMergeSplitFuncIntoReusesScratch(t *testing.T) {
+	a := []int64{1, 3}
+	b := []int64{2, 4}
+	scratch := make([]int64, 0, 4)
+	lo, _, _, err := MergeSplitFuncInto(scratch, a, b, Leq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &lo[0] != &scratch[:1][0] {
+		t.Error("merge did not reuse the caller's scratch")
+	}
+}

@@ -28,6 +28,18 @@ type Options struct {
 	// Tamper intercepts outgoing messages (Byzantine processor); nil
 	// for honest nodes. Returning nil drops the message.
 	Tamper func(m *wire.Message) *wire.Message
+	// Compare, when non-nil, replaces the node's merge-split
+	// comparator: Compare(stage, a, b) reports whether a orders at or
+	// before b. A lying comparator models faulty comparisons — the
+	// merge-split misroutes keys without any message being tampered.
+	// Nil is the honest machine comparator.
+	Compare func(stage int, a, b int64) bool
+	// CorruptMemory, when non-nil, is invoked at every stage boundary
+	// (stages >= 1 and before the final verification round, with the
+	// cube dimension as the stage label) on the node's resident block,
+	// modelling memory cells that corrupt between accesses. The hook
+	// mutates the block in place.
+	CorruptMemory func(stage int, keys []int64)
 	// SkipChecks disables the node's own assertions (used together
 	// with Tamper for malicious nodes).
 	SkipChecks bool

@@ -328,6 +328,12 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 	var prevSC hypercube.Subcube
 
 	for s := 0; s < n; s++ {
+		// Faulty-memory hook: the resident block may corrupt between
+		// stages (never before the first exchange, per environmental
+		// assumption 5 — a stage-0 corruption would be different input).
+		if r.opts.CorruptMemory != nil && s > 0 {
+			r.opts.CorruptMemory(s, mine)
+		}
 		stageVT := int64(r.ep.Clock())
 		r.opts.Obs.StageBegin(id, s, false, stageVT)
 		sc, err := topo.HomeSubcube(s+1, id)
@@ -380,6 +386,12 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 			BlockLen: r.m, Assembled: prevFlat,
 		})
 		prevSC = sc
+	}
+
+	// Faulty memory can also strike between the last stage and the
+	// final verification round.
+	if r.opts.CorruptMemory != nil {
+		r.opts.CorruptMemory(n, mine)
 	}
 
 	// Final verification round.
@@ -480,7 +492,16 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		}
 		// Merge into the buffer not holding mine; theirs may still
 		// alias the decode scratch, which MergeSplitInto only reads.
-		lo, hi, compares, merr := bitonic.MergeSplitInto(r.nextBuf(), mine, theirs)
+		var lo, hi []int64
+		var compares int
+		var merr error
+		if r.opts.Compare != nil {
+			stage := s
+			lo, hi, compares, merr = bitonic.MergeSplitFuncInto(r.nextBuf(), mine, theirs,
+				func(a, b int64) bool { return r.opts.Compare(stage, a, b) })
+		} else {
+			lo, hi, compares, merr = bitonic.MergeSplitInto(r.nextBuf(), mine, theirs)
+		}
 		if merr != nil {
 			return nil, fmt.Errorf("blocksort: %w", merr)
 		}

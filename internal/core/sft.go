@@ -57,6 +57,21 @@ type Options struct {
 	// silent. From/To are stamped before the call so strategies can
 	// vary by receiver (the split-lie attack Φ_C exists to catch).
 	Tamper func(m *wire.Message) *wire.Message
+	// Compare, when non-nil, replaces the node's compare-exchange
+	// comparator: Compare(stage, a, b) reports whether a orders at or
+	// before b. A lying comparator models Geissmann et al.'s faulty
+	// comparisons — the node runs the schedule faithfully but routes
+	// keys by wrong answers, which honest partners must catch at the
+	// application level (misordered replies, Φ_P violations). Nil is
+	// the honest machine comparator.
+	Compare func(stage int, a, b int64) bool
+	// CorruptMemory, when non-nil, is invoked at every stage boundary
+	// (stages >= 1 and before the final verification round, with the
+	// cube dimension as the stage label) on the node's resident key
+	// slice, modelling Kopelowitz & Talmon's faulty memory: cells that
+	// corrupt between accesses. The hook may mutate the slice in
+	// place; the node then proceeds honestly on the corrupted state.
+	CorruptMemory func(stage int, keys []int64)
 	// SkipChecks disables the node's own executable assertions: a
 	// malicious processor does not report itself. Honest peers are
 	// the ones expected to detect it.
@@ -197,6 +212,14 @@ func (r *sftRunner) run(key int64) (int64, error) {
 	var prevSC hypercube.Subcube
 
 	for s := 0; s < n; s++ {
+		// Faulty-memory hook: the resident key may corrupt between
+		// stages (never before the first exchange, per environmental
+		// assumption 5 — a stage-0 corruption would be different input).
+		if r.opts.CorruptMemory != nil && s > 0 {
+			r.keyBuf[0] = a
+			r.opts.CorruptMemory(s, r.keyBuf[:1])
+			a = r.keyBuf[0]
+		}
 		stageVT := int64(r.ep.Clock())
 		r.opts.Obs.StageBegin(id, s, false, stageVT)
 		sc, err := topo.HomeSubcube(s+1, id)
@@ -255,6 +278,15 @@ func (r *sftRunner) run(key int64) (int64, error) {
 	if r.opts.SkipFinalVerification {
 		// Ablation: the last stage's output goes unchecked.
 		return a, nil
+	}
+
+	// Faulty memory can also strike between the last stage and the
+	// final verification round — the corruption Theorem 3's extra
+	// round exists to expose.
+	if r.opts.CorruptMemory != nil {
+		r.keyBuf[0] = a
+		r.opts.CorruptMemory(n, r.keyBuf[:1])
+		a = r.keyBuf[0]
 	}
 
 	// Final verification: a pure exchange of the final sorted values
@@ -365,9 +397,13 @@ func (r *sftRunner) ftExchange(view *gatherView, a int64, s, j int) (int64, erro
 			data = a
 		}
 		r.ep.ChargeCompare(1)
+		leq := data <= a
+		if r.opts.Compare != nil {
+			leq = r.opts.Compare(s, data, a)
+		}
 		lo, hi := data, a
-		if lo > hi {
-			lo, hi = hi, lo
+		if !leq {
+			lo, hi = a, data
 		}
 		keep, give := lo, hi
 		if !ascending {

@@ -339,33 +339,61 @@ func TestByzantineSilenceDetected(t *testing.T) {
 }
 
 func TestByzantineWrongCompareExchangeDetected(t *testing.T) {
-	// The active node reports a misordered pair.
+	// A node whose comparator lies routes real keys the wrong way: no
+	// message is tampered, the node faithfully reports its wrong
+	// answers, and detection must come from its honest peers'
+	// predicates. The table covers both lie directions and a lie
+	// confined to the last merge stage, where only the final
+	// verification round is left to catch it.
 	dim := 3
 	n := 1 << uint(dim)
 	keys := []int64{10, 8, 3, 9, 4, 2, 7, 5}
-	opts := make([]Options, n)
-	opts[0] = Options{SkipChecks: true, Tamper: func(m *wire.Message) *wire.Message {
-		if m.Kind != wire.KindFTExchange || m.Stage < 1 {
-			return m
-		}
-		p, err := wire.DecodeFTExchange(m.Payload)
-		if err != nil || len(p.Keys) != 2 {
-			return m
-		}
-		p.Keys[0], p.Keys[1] = p.Keys[1], p.Keys[0] // swap min/max
-		buf, err := wire.EncodeFTExchange(p)
-		if err != nil {
-			return m
-		}
-		m.Payload = buf
-		return m
-	}}
-	oc, err := RunWithOptions(newFaultNet(t, dim), keys, opts)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name    string
+		faulty  int
+		compare func(stage int, a, b int64) bool
+	}{
+		{
+			// Claims a <= b whenever the truth is a > b.
+			name:   "lie-low",
+			faulty: 0,
+			compare: func(stage int, a, b int64) bool {
+				return true
+			},
+		},
+		{
+			// Claims a > b whenever the truth is a <= b.
+			name:   "lie-high",
+			faulty: 0,
+			compare: func(stage int, a, b int64) bool {
+				return false
+			},
+		},
+		{
+			// Honest until the last merge stage, then inverts every
+			// answer: only the final verification round remains.
+			name:   "final-stage",
+			faulty: 5,
+			compare: func(stage int, a, b int64) bool {
+				if stage < dim-1 {
+					return a <= b
+				}
+				return a > b
+			},
+		},
 	}
-	if !oc.Detected() {
-		t.Fatalf("misordered compare-exchange went undetected; output %v", oc.Sorted)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := make([]Options, n)
+			opts[tc.faulty] = Options{SkipChecks: true, Compare: tc.compare}
+			oc, err := RunWithOptions(newFaultNet(t, dim), keys, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !oc.Detected() {
+				t.Fatalf("lying comparator went undetected; output %v", oc.Sorted)
+			}
+		})
 	}
 }
 

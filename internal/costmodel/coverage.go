@@ -1,0 +1,89 @@
+// Coverage-calibrated fault regime: the detection-coverage matrix's
+// feed into the recovery model. The base calibration's DetectFrac is a
+// single number fitted from message-fault sweeps; the coverage matrix
+// measures detection per adversary class (message, absence,
+// comparison, memory), and this file folds those per-class fractions
+// — weighted by an assumed arrival mix — into an effective DetectFrac
+// so the repair-loop expectations price a machine whose faults are not
+// all wire lies.
+package costmodel
+
+import "fmt"
+
+// ClassDetection is one adversary class's measured detection behaviour
+// plus its assumed share of fault arrivals.
+type ClassDetection struct {
+	// Class names the adversary class ("message", "absence",
+	// "comparison", "memory").
+	Class string
+	// Share is the class's weight in the arrival mix. Shares need not
+	// sum to 1; EffectiveDetectFrac normalizes.
+	Share float64
+	// DetectFrac is the measured probability that a manifested fault
+	// of this class fail-stops the run (detected / runs from the
+	// coverage matrix).
+	DetectFrac float64
+}
+
+// CoverageCalibration is a per-class detection profile, typically
+// produced by experiments.CalibrateCoverage from a measured
+// detection-coverage matrix.
+type CoverageCalibration struct {
+	Classes []ClassDetection
+}
+
+// Validate rejects profiles the effective fraction cannot be computed
+// from.
+func (c CoverageCalibration) Validate() error {
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("costmodel: coverage calibration has no classes")
+	}
+	var total float64
+	for _, cd := range c.Classes {
+		if cd.Share < 0 {
+			return fmt.Errorf("costmodel: class %q share %v < 0", cd.Class, cd.Share)
+		}
+		if cd.DetectFrac < 0 || cd.DetectFrac > 1 {
+			return fmt.Errorf("costmodel: class %q detect fraction %v outside [0,1]", cd.Class, cd.DetectFrac)
+		}
+		total += cd.Share
+	}
+	if total <= 0 {
+		return fmt.Errorf("costmodel: coverage calibration shares sum to %v", total)
+	}
+	return nil
+}
+
+// EffectiveDetectFrac is the share-weighted mean detection fraction —
+// the probability that a manifested fault drawn from the profile's
+// arrival mix fail-stops the attempt.
+func (c CoverageCalibration) EffectiveDetectFrac() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	var total, weighted float64
+	for _, cd := range c.Classes {
+		total += cd.Share
+		weighted += cd.Share * cd.DetectFrac
+	}
+	return weighted / total, nil
+}
+
+// WithCoverage returns a copy of the model whose detection fraction is
+// the profile's effective per-class fraction — the coverage-calibrated
+// regime. The waste fraction and everything else carry over unchanged.
+func (rm *RecoveryModel) WithCoverage(name string, cov CoverageCalibration) (*RecoveryModel, error) {
+	if rm == nil {
+		return nil, fmt.Errorf("costmodel: nil recovery model")
+	}
+	eff, err := cov.EffectiveDetectFrac()
+	if err != nil {
+		return nil, err
+	}
+	m := *rm
+	if name != "" {
+		m.Name = name
+	}
+	m.Calib.DetectFrac = eff
+	return &m, nil
+}

@@ -8,6 +8,27 @@ import (
 	"repro/internal/wire"
 )
 
+// cloneMessage returns a deep copy of m — header and payload bytes —
+// so tamper hooks can mutate freely without aliasing caller state.
+// The runtimes hand hooks a pointer whose payload aliases the sender's
+// encode scratch, so a hook that wrote through the pointer would
+// corrupt the node it is pretending to be.
+func cloneMessage(m *wire.Message) *wire.Message {
+	c := *m
+	if m.Payload != nil {
+		c.Payload = append([]byte(nil), m.Payload...)
+	}
+	return &c
+}
+
+// withPayload returns a copy of m's header carrying the given freshly
+// encoded payload — the cheap clone for tampers that re-encode.
+func withPayload(m *wire.Message, payload []byte) *wire.Message {
+	c := *m
+	c.Payload = payload
+	return &c
+}
+
 // RandomAdversary builds a randomized Byzantine tamper hook: for every
 // outgoing message past the activation stage it picks, at random, one
 // of several structured or unstructured mutations — key substitution,
@@ -15,7 +36,8 @@ import (
 // occasional silence, or passing the message through. It is the
 // property-based complement to the named strategies: instead of
 // testing attacks we thought of, it searches the attack space.
-// Deterministic for a given seed.
+// Deterministic for a given seed. Mutations are applied to a clone:
+// the caller's message is never written through.
 func RandomAdversary(seed int64, activateStage int) func(m *wire.Message) *wire.Message {
 	rng := rand.New(rand.NewSource(seed))
 	return func(m *wire.Message) *wire.Message {
@@ -28,20 +50,22 @@ func RandomAdversary(seed int64, activateStage int) func(m *wire.Message) *wire.
 		case 1: // silence
 			return nil
 		case 2: // flip a random payload byte
-			if len(m.Payload) > 0 {
-				p := append([]byte{}, m.Payload...)
-				p[rng.Intn(len(p))] ^= byte(1 + rng.Intn(255))
-				m.Payload = p
+			if len(m.Payload) == 0 {
+				return m
 			}
-			return m
+			c := cloneMessage(m)
+			c.Payload[rng.Intn(len(c.Payload))] ^= byte(1 + rng.Intn(255))
+			return c
 		case 3: // re-stamp the header to a random step
-			m.Stage = int32(rng.Intn(4))
-			m.Iter = int32(rng.Intn(4))
-			return m
+			c := cloneMessage(m)
+			c.Stage = int32(rng.Intn(4))
+			c.Iter = int32(rng.Intn(4))
+			return c
 		case 4: // swap kind
 			kinds := []wire.Kind{wire.KindExchange, wire.KindFTExchange, wire.KindVerify}
-			m.Kind = kinds[rng.Intn(len(kinds))]
-			return m
+			c := cloneMessage(m)
+			c.Kind = kinds[rng.Intn(len(kinds))]
+			return c
 		default: // structured value lies
 			switch m.Kind {
 			case wire.KindFTExchange:
@@ -59,7 +83,7 @@ func RandomAdversary(seed int64, activateStage int) func(m *wire.Message) *wire.
 				if err != nil {
 					return m
 				}
-				m.Payload = buf
+				return withPayload(m, buf)
 			case wire.KindVerify:
 				p, err := wire.DecodeVerify(m.Payload)
 				if err != nil {
@@ -72,7 +96,7 @@ func RandomAdversary(seed int64, activateStage int) func(m *wire.Message) *wire.
 				if err != nil {
 					return m
 				}
-				m.Payload = buf
+				return withPayload(m, buf)
 			}
 			return m
 		}

@@ -33,12 +33,9 @@ func InjectBlockFT(dim int, blocks [][]int64, spec Spec, timeout time.Duration) 
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Spec: spec}
+	res := Result{Spec: spec, Class: spec.Strategy.Class(), Label: spec.Strategy.String()}
 	if oc.Detected() {
-		res.Verdict = Detected
-		if len(oc.HostErrors) > 0 {
-			res.Predicate = oc.HostErrors[0].Predicate
-		}
+		res.classify(true, oc.HostErrors)
 		return res, nil
 	}
 	all := hostsort.SortedBlocksFlat(blocks)

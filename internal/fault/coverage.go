@@ -44,11 +44,63 @@ func (v Verdict) String() string {
 
 // Result is the outcome of one injected-fault run.
 type Result struct {
+	// Spec is the message-fault spec, zero for comparison and memory
+	// faults (which are described by CmpSpec / MemSpec instead).
 	Spec    Spec
 	Verdict Verdict
-	// Predicate is the first predicate class that fired (when Detected
-	// and an ERROR reached the host).
+	// Class is the adversary class injected (message, absence,
+	// comparison, memory).
+	Class Class
+	// Label names the concrete strategy or mode within the class,
+	// e.g. "key-lie" or "mem-stuck".
+	Label string
+	// Predicate is the predicate class of the earliest detection
+	// evidence that reached the host (when Detected).
 	Predicate string
+	// Detector is the coverage-matrix column the detection falls in:
+	// the predicate name, "absence" when the earliest evidence is a
+	// missing message, or "node-local" when a node fail-stopped
+	// without its ERROR reaching the host. Empty when not Detected.
+	Detector string
+}
+
+// earliestHostError picks the detection evidence deterministically:
+// host-mailbox drain order races between node goroutines, so the
+// matrix keys off the earliest (stage, iter, node) evidence instead of
+// arrival order.
+func earliestHostError(errs []core.HostError) (core.HostError, bool) {
+	if len(errs) == 0 {
+		return core.HostError{}, false
+	}
+	best := errs[0]
+	for _, he := range errs[1:] {
+		if he.Stage < best.Stage ||
+			(he.Stage == best.Stage && he.Iter < best.Iter) ||
+			(he.Stage == best.Stage && he.Iter == best.Iter && he.Node < best.Node) {
+			best = he
+		}
+	}
+	return best, true
+}
+
+// classify fills a Result's detection fields from a finished run's
+// host evidence.
+func (r *Result) classify(detected bool, errs []core.HostError) {
+	if !detected {
+		return
+	}
+	r.Verdict = Detected
+	he, ok := earliestHostError(errs)
+	if !ok {
+		r.Detector = "node-local"
+		return
+	}
+	r.Predicate = he.Predicate
+	if he.Kind == core.KindAbsence {
+		r.Detector = "absence"
+	} else {
+		r.Detector = he.Predicate
+	}
 }
 
 // InjectSFT runs S_FT on a fresh network with one Byzantine processor
@@ -73,12 +125,9 @@ func InjectSFT(dim int, keys []int64, spec Spec, timeout time.Duration) (Result,
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Spec: spec}
+	res := Result{Spec: spec, Class: spec.Strategy.Class(), Label: spec.Strategy.String()}
 	if oc.Detected() {
-		res.Verdict = Detected
-		if len(oc.HostErrors) > 0 {
-			res.Predicate = oc.HostErrors[0].Predicate
-		}
+		res.classify(true, oc.HostErrors)
 		return res, nil
 	}
 	if cerr := checker.Verify(keys, oc.Sorted, true); cerr != nil {
@@ -141,10 +190,11 @@ func InjectSNR(dim int, keys []int64, spec Spec, timeout time.Duration) (Result,
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Spec: spec}
+	res := Result{Spec: spec, Class: spec.Strategy.Class(), Label: spec.Strategy.String()}
 	if runRes.AnyErr() != nil {
 		// S_NR can only "detect" absence (timeouts), not value lies.
 		res.Verdict = Detected
+		res.Detector = "node-local"
 		return res, nil
 	}
 	if cerr := checker.Verify(keys, out, true); cerr != nil {
@@ -182,8 +232,7 @@ func snrTamper(spec Spec) func(m *wire.Message) *wire.Message {
 				p.Keys[i] = spec.LieValue
 			}
 		}
-		m.Payload = wire.EncodeExchange(p)
-		return m
+		return withPayload(m, wire.EncodeExchange(p))
 	}
 }
 
@@ -255,9 +304,13 @@ func InjectCrash(dim int, keys []int64, crashed int, timeout time.Duration) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Spec: Spec{Node: crashed, Strategy: Silence, ActivateStage: 1}}
+	res := Result{
+		Spec:  Spec{Node: crashed, Strategy: Silence, ActivateStage: 1},
+		Class: ClassAbsence, Label: Silence.String(),
+	}
 	if runRes.AnyErr() != nil {
 		res.Verdict = Detected
+		res.Detector = "node-local"
 		return res, nil
 	}
 	// With a dead node the gather can never complete, so reaching here

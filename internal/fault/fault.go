@@ -137,8 +137,7 @@ func (s Spec) tamperKeys() func(m *wire.Message) *wire.Message {
 		if err != nil {
 			return m
 		}
-		m.Payload = buf
-		return m
+		return withPayload(m, buf)
 	}
 }
 
@@ -171,7 +170,7 @@ func (s Spec) tamperSplitLie() func(m *wire.Message) *wire.Message {
 			if err != nil {
 				return m
 			}
-			m.Payload = buf
+			return withPayload(m, buf)
 		case wire.KindVerify:
 			p, err := wire.DecodeVerify(m.Payload)
 			if err != nil || !rewrite(&p.View) {
@@ -181,7 +180,7 @@ func (s Spec) tamperSplitLie() func(m *wire.Message) *wire.Message {
 			if err != nil {
 				return m
 			}
-			m.Payload = buf
+			return withPayload(m, buf)
 		}
 		return m
 	}
@@ -202,8 +201,7 @@ func (s Spec) tamperViewLie() func(m *wire.Message) *wire.Message {
 		if err != nil {
 			return m
 		}
-		m.Payload = buf
-		return m
+		return withPayload(m, buf)
 	}
 }
 
@@ -224,8 +222,7 @@ func (s Spec) tamperWrongCompare() func(m *wire.Message) *wire.Message {
 		if err != nil {
 			return m
 		}
-		m.Payload = buf
-		return m
+		return withPayload(m, buf)
 	}
 }
 
@@ -274,8 +271,7 @@ func (s Spec) tamperMaskInflation() func(m *wire.Message) *wire.Message {
 		if err != nil {
 			return m
 		}
-		m.Payload = buf
-		return m
+		return withPayload(m, buf)
 	}
 }
 
@@ -284,9 +280,10 @@ func (s Spec) tamperStaleReplay() func(m *wire.Message) *wire.Message {
 		if !s.active(m) {
 			return m
 		}
-		m.Stage = 0
-		m.Iter = 0
-		return m
+		c := cloneMessage(m)
+		c.Stage = 0
+		c.Iter = 0
+		return c
 	}
 }
 

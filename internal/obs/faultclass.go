@@ -1,0 +1,54 @@
+package obs
+
+import "fmt"
+
+// FaultClass indexes the per-class fault-injection counters. It
+// mirrors the fault package's adversary taxonomy (message, absence,
+// comparison, memory) without importing it — obs sits below fault in
+// the dependency order, so the enum lives here and fault maps onto it.
+type FaultClass int
+
+const (
+	// FaultMessage: Byzantine message faults (lies on the wire).
+	FaultMessage FaultClass = iota
+	// FaultAbsence: missing messages (silence, crashes).
+	FaultAbsence
+	// FaultComparison: lying comparators (Geissmann et al.).
+	FaultComparison
+	// FaultMemory: resident-cell corruption (Kopelowitz & Talmon).
+	FaultMemory
+
+	// NumFaultClasses sizes the per-class counter arrays.
+	NumFaultClasses
+)
+
+var faultClassNames = [NumFaultClasses]string{
+	FaultMessage:    "message",
+	FaultAbsence:    "absence",
+	FaultComparison: "comparison",
+	FaultMemory:     "memory",
+}
+
+// String returns the class label used on the counters.
+func (c FaultClass) String() string {
+	if c >= 0 && c < NumFaultClasses {
+		return faultClassNames[c]
+	}
+	return fmt.Sprintf("faultclass(%d)", int(c))
+}
+
+// FaultOutcome records one fault-injection run of class c: always
+// bumps the runs counter, plus detected or (when undetected and
+// wrong) silent-wrong. An undetected-but-correct run bumps runs only.
+// Nil-safe like every Observer method.
+func (o *Observer) FaultOutcome(c FaultClass, detected, silentWrong bool) {
+	if o == nil || o.M == nil || c < 0 || c >= NumFaultClasses {
+		return
+	}
+	o.M.FaultRuns[c].Inc()
+	if detected {
+		o.M.FaultDetected[c].Inc()
+	} else if silentWrong {
+		o.M.FaultSilent[c].Inc()
+	}
+}

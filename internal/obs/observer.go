@@ -60,6 +60,14 @@ type Metrics struct {
 	CostModelCells  *Counter
 	CostModelWithin *Counter
 	CostModelDevPpm *Histogram
+
+	// FaultRuns, FaultDetected and FaultSilent count fault-injection
+	// runs by adversary class (indexed by FaultClass): total runs,
+	// runs some honest node detected, and runs that finished
+	// undetected with a wrong output — the Theorem 3 escapes.
+	FaultRuns     [NumFaultClasses]*Counter
+	FaultDetected [NumFaultClasses]*Counter
+	FaultSilent   [NumFaultClasses]*Counter
 }
 
 // NewMetrics registers the standard instrument set on reg and returns
@@ -112,6 +120,16 @@ func NewMetrics(reg *Registry) *Metrics {
 	m.CostModelDevPpm = reg.Histogram("recovery_costmodel_abs_deviation_ppm",
 		"Absolute modeled-vs-measured deviation of expected total vticks, in parts per million.",
 		[]int64{1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000})
+	for c := FaultClass(0); c < NumFaultClasses; c++ {
+		m.FaultRuns[c] = reg.Counter("fault_injection_runs_total",
+			"Fault-injection runs, by adversary class.", Label{"class", c.String()})
+		m.FaultDetected[c] = reg.Counter("fault_injection_detected_total",
+			"Fault-injection runs detected by some honest node, by adversary class.",
+			Label{"class", c.String()})
+		m.FaultSilent[c] = reg.Counter("fault_injection_silent_wrong_total",
+			"Fault-injection runs that finished undetected with a wrong output, by adversary class.",
+			Label{"class", c.String()})
+	}
 	return m
 }
 

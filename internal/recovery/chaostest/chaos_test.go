@@ -172,6 +172,67 @@ func TestSpareKeepsFullDimension(t *testing.T) {
 	}
 }
 
+// TestComparisonFaultQuarantinedAtSite is the directed acceptance
+// check for the comparison class: a persistently lying comparator is
+// localized exactly like a Byzantine message strategy, because the
+// honest partner's protocol checks name the lying sender.
+func TestComparisonFaultQuarantinedAtSite(t *testing.T) {
+	sc := Scenario{
+		Seed:        42,
+		Dim:         3,
+		BlockLen:    2,
+		Class:       fault.ClassComparison,
+		CmpMode:     fault.CmpPersistent,
+		Rate:        1,
+		Site:        5,
+		Persistent:  true,
+		Spares:      1,
+		MaxAttempts: 6,
+	}
+	r := Run(sc, Simnet)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if err := Check(sc, r); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Stats.Recovery
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != 5 {
+		t.Fatalf("quarantined %v, want [5]", rep.Quarantined)
+	}
+	if rep.FinalDim != 3 {
+		t.Fatalf("FinalDim = %d, spare should have preserved dim 3", rep.FinalDim)
+	}
+}
+
+// TestMemoryFaultsNeverUnverified sweeps every memory mode through a
+// persistent supervision at every site of a dim-2 cube: corrupted
+// cells may propagate through honest nodes before a predicate fires
+// (so localization is best-effort — Check tolerates a mislocalized
+// quarantine for this class), but every run must still end in a
+// verified sorted permutation or a structured escalation.
+func TestMemoryFaultsNeverUnverified(t *testing.T) {
+	for _, mode := range fault.AllMemModes() {
+		for site := 0; site < 4; site++ {
+			sc := Scenario{
+				Seed:        1989 + int64(site),
+				Dim:         2,
+				BlockLen:    2,
+				Class:       fault.ClassMemory,
+				MemMode:     mode,
+				Rate:        1,
+				Site:        site,
+				Persistent:  true,
+				Spares:      1,
+				MaxAttempts: 6,
+			}
+			if err := Check(sc, Run(sc, Simnet)); err != nil {
+				t.Errorf("%s: %v", sc.Name(), err)
+			}
+		}
+	}
+}
+
 // TestEmptyPoolMatchesShrinkPath pins the acceptance criterion that
 // Spares: 0 is bit-identical to the pre-spares shrink path: the
 // virtual-time series and attempt trajectory of a supervised run with
