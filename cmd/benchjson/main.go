@@ -8,22 +8,31 @@
 // (medians of three 30-iteration runs on the reference machine) so the
 // report doubles as a before/after record:
 //
-//	go run ./cmd/benchjson -o BENCH_PR2.json
+//	go run ./cmd/benchjson -o BENCH_PR7.json
+//
+// With -baseline pointing at a committed report, the run additionally
+// fails if any Fig6_SFT or Fig8_BlockFT point's allocs_per_op regressed
+// against it — the CI bench-regression gate.
 //
 // See EXPERIMENTS.md ("Performance methodology") for how to read the
-// output and why the virtual-tick columns must never change under a
-// performance PR.
+// output and why the virtual-tick columns must only change when a PR
+// deliberately re-pins them (as the digest fast-path PR does).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/bitonic"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/wire"
 )
 
 // Point is one benchmark result row.
@@ -71,15 +80,15 @@ type Report struct {
 const benchSeed = 1989
 
 // baseline holds the pre-optimization numbers for the acceptance
-// points: medians of three 30-iteration runs before the
-// zero-allocation message path landed (same machine class, Linux
-// amd64). They are embedded so the report is self-contained.
+// points, measured immediately before the digest fast path and the
+// data-parallel merge landed (same machine, Linux amd64). They are
+// embedded so the report is self-contained.
 var baseline = map[string]struct {
 	nsPerOp  int64
 	allocsOp int64
 }{
-	"Fig6_SFT/N=32":         {nsPerOp: 2459396, allocsOp: 16345},
-	"Fig8_BlockFT/N=16/m=64": {nsPerOp: 4684690, allocsOp: 8727},
+	"Fig6_SFT/N=32":          {nsPerOp: 1415392, allocsOp: 2042},
+	"Fig8_BlockFT/N=16/m=64": {nsPerOp: 4875750, allocsOp: 1777},
 }
 
 // suite enumerates the measured points: the Figure 6 series (one key
@@ -126,8 +135,88 @@ func suite() []benchCase {
 	return cases
 }
 
+// microSuite enumerates the predicate/merge microbenchmarks exported
+// alongside the protocol points: the Φ_F slow paths (map and
+// two-pointer feasibility), the digest fast path (steady-state compare
+// and from-scratch maintenance), and the sequential vs parallel
+// merge-split. Micro rows have no virtual-time series (vticks = 0).
+type microCase struct {
+	name string
+	n    int
+	run  func(b *testing.B)
+}
+
+func microSuite() []microCase {
+	const n = 4096
+	rng := rand.New(rand.NewSource(benchSeed))
+	prev := make([]int64, n)
+	for i := range prev {
+		prev[i] = int64(rng.Intn(n / 2)) // duplicates keep the map path honest
+	}
+	cur := append([]int64{}, prev...)
+	rng.Shuffle(n, func(i, j int) { cur[i], cur[j] = cur[j], cur[i] })
+	sortedPrev, _ := bitonic.MergeSortCount(prev)
+	sortedCur, _ := bitonic.MergeSortCount(cur)
+	prevDig, curDig := wire.DigestOf(prev), wire.DigestOf(cur)
+
+	const mm = 1 << 15
+	a := make([]int64, mm)
+	b2 := make([]int64, mm)
+	for i := range a {
+		a[i] = int64(2 * i)
+		b2[i] = int64(2*i + 1)
+	}
+	dst := make([]int64, 2*mm)
+
+	return []microCase{
+		{fmt.Sprintf("Micro_PhiF_Map/n=%d", n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := core.Feasibility(prev, cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Micro_PhiF_TwoPointer/n=%d", n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := core.FeasibilityTwoPointer(sortedPrev, sortedCur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Micro_PhiF_DigestCompare/n=%d", n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if prevDig != curDig {
+					b.Fatal("digests of equal multisets differ")
+				}
+			}
+		}},
+		{fmt.Sprintf("Micro_Digest_Maintain/n=%d", n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if wire.DigestOf(cur) != prevDig {
+					b.Fatal("digest mismatch")
+				}
+			}
+		}},
+		{fmt.Sprintf("Micro_MergeSplit_Seq/m=%d", mm), mm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := bitonic.MergeSplitInto(dst[:0], a, b2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("Micro_MergeSplit_Par/m=%d", mm), mm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := bitonic.MergeSplitParallelInto(dst[:0], a, b2, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output file ('-' for stdout)")
+	basePath := flag.String("baseline", "", "committed report to gate allocs_per_op regressions against (Fig6_SFT and Fig8_BlockFT points)")
 	flag.Parse()
 
 	rep := Report{
@@ -184,6 +273,29 @@ func main() {
 			c.name, p.NsPerOp, p.AllocsPerOp, p.VTicks)
 	}
 
+	for _, c := range microSuite() {
+		r := testing.Benchmark(c.run)
+		p := Point{
+			Name:        c.name,
+			N:           c.n,
+			M:           c.n,
+			Iters:       r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Fprintf(os.Stderr, "%-28s %9d ns/op %7d allocs/op\n",
+			c.name, p.NsPerOp, p.AllocsPerOp)
+	}
+
+	if *basePath != "" {
+		if err := gateAllocs(*basePath, rep.Points); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -198,6 +310,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// gateAllocs fails when any Fig6_SFT or Fig8_BlockFT point allocates
+// more per op than the committed baseline report says it did. Alloc
+// counts are deterministic (unlike ns/op), so exceeding the committed
+// number is a real regression, not noise.
+func gateAllocs(path string, points []Point) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	want := make(map[string]int64, len(base.Points))
+	for _, p := range base.Points {
+		want[p.Name] = p.AllocsPerOp
+	}
+	var bad []string
+	for _, p := range points {
+		if !strings.HasPrefix(p.Name, "Fig6_SFT") && !strings.HasPrefix(p.Name, "Fig8_BlockFT") {
+			continue
+		}
+		b, ok := want[p.Name]
+		if !ok {
+			continue
+		}
+		if p.AllocsPerOp > b {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op > baseline %d", p.Name, p.AllocsPerOp, b))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("allocs_per_op regression vs %s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // pctDrop returns how much lower now is than base, in percent.

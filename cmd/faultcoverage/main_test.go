@@ -62,10 +62,10 @@ func TestJSONArtifact(t *testing.T) {
 	if err := json.Unmarshal(blob, &art); err != nil {
 		t.Fatal(err)
 	}
-	// 7 message strategies (one of them absence) + 2 cmp modes + 3 mem
+	// 9 message strategies (one of them absence) + 2 cmp modes + 3 mem
 	// modes at one rate, for two algorithms at one dimension.
-	if len(art.Cells) != 24 {
-		t.Errorf("artifact cells = %d, want 24", len(art.Cells))
+	if len(art.Cells) != 28 {
+		t.Errorf("artifact cells = %d, want 28", len(art.Cells))
 	}
 	if len(art.Classes) != 4 {
 		t.Errorf("artifact classes = %d, want 4", len(art.Classes))

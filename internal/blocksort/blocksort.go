@@ -48,6 +48,12 @@ type Options struct {
 	// endpoint clock but never charges it; all Observer methods are
 	// nil-safe and allocation-free.
 	Obs *obs.Observer
+	// Parallelism caps the worker count for the data-parallel
+	// merge-split and local-sort paths (mirrors core.Options): <= 0
+	// means GOMAXPROCS. Worker count never changes outputs or charged
+	// comparison counts — the parallel merges are bit-identical to
+	// their sequential counterparts — only wall-clock time.
+	Parallelism int
 }
 
 // RunNR executes the unreliable block bitonic sort: blocks[id] is node
@@ -142,9 +148,10 @@ func validateBlocks(nw transport.Network, blocks [][]int64) error {
 }
 
 // localSort sorts a block ascending in place and charges the endpoint
-// the comparison cost.
-func localSort(ep transport.Endpoint, b []int64) error {
-	sorted, compares := bitonic.MergeSortCount(b)
+// the comparison cost. workers caps the sort's parallelism (<= 0 means
+// GOMAXPROCS); the charged count is identical for every worker count.
+func localSort(ep transport.Endpoint, b []int64, workers int) error {
+	sorted, compares := bitonic.ParallelMergeSortCount(b, workers)
 	copy(b, sorted)
 	ep.ChargeCompare(compares)
 	ep.ChargeKeyMove(len(b))
@@ -158,7 +165,7 @@ func nodeProgramNR(block []int64, out *[]int64) node.Program {
 		id := ep.ID()
 		n := ep.Topology().Dim()
 		mine := append([]int64{}, block...)
-		if err := localSort(ep, mine); err != nil {
+		if err := localSort(ep, mine, 0); err != nil {
 			return err
 		}
 		r := &nrRunner{ep: ep, m: len(mine)}

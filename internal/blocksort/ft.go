@@ -18,12 +18,17 @@ import (
 // gathered LBS: one sorted block per subcube slot plus the knowledge
 // mask. Blocks are slices into one flat arena (data) so a view reset
 // between stages reuses storage instead of reallocating per slot.
+// slotDig holds the multiset digest of each held slot's block, always
+// computed locally from the adopted bytes (never taken from a sender's
+// claim), so folding a slot into an aggregate check is O(1) and the
+// aggregates a node relays are consistent with what it actually holds.
 type blockView struct {
-	sc     hypercube.Subcube
-	m      int
-	have   bitset.Set
-	data   []int64
-	blocks [][]int64
+	sc      hypercube.Subcube
+	m       int
+	have    bitset.Set
+	data    []int64
+	blocks  [][]int64
+	slotDig []wire.Digest
 }
 
 func newBlockView(sc hypercube.Subcube, m int) *blockView {
@@ -49,6 +54,14 @@ func (g *blockView) reset(sc hypercube.Subcube, m int) {
 	} else {
 		g.blocks = g.blocks[:sc.Size()]
 	}
+	if cap(g.slotDig) < sc.Size() {
+		g.slotDig = make([]wire.Digest, sc.Size())
+	} else {
+		g.slotDig = g.slotDig[:sc.Size()]
+		for i := range g.slotDig {
+			g.slotDig[i] = wire.Digest{}
+		}
+	}
 	for i := 0; i < sc.Size(); i++ {
 		g.blocks[i] = g.data[i*m : (i+1)*m : (i+1)*m]
 	}
@@ -58,6 +71,17 @@ func (g *blockView) set(nodeLabel int, b []int64) {
 	idx := nodeLabel - g.sc.Start
 	g.have.Add(idx)
 	copy(g.blocks[idx], b)
+	g.slotDig[idx] = wire.DigestOf(g.blocks[idx])
+}
+
+// rangeDigest folds the digests of slots [lo, hi); valid only when
+// those slots are held.
+func (g *blockView) rangeDigest(lo, hi int) wire.Digest {
+	var d wire.Digest
+	for i := lo; i < hi; i++ {
+		d.Merge(g.slotDig[i])
+	}
+	return d
 }
 
 func (g *blockView) complete() bool { return g.have.Full() }
@@ -97,8 +121,10 @@ func (g *blockView) wireView() wire.View {
 // every send path does immediately.
 func (g *blockView) wireViewInto(scratch []int64) wire.View {
 	vals := scratch[:0]
+	var dig wire.Digest
 	g.have.Each(func(idx int) bool {
 		vals = append(vals, g.blocks[idx]...)
+		dig.Merge(g.slotDig[idx])
 		return true
 	})
 	return wire.View{
@@ -107,43 +133,72 @@ func (g *blockView) wireViewInto(scratch []int64) wire.View {
 		BlockLen: int32(g.m),
 		Mask:     g.have,
 		Vals:     vals,
+		Dig:      dig,
 	}
 }
 
 // mergeChecked is Φ_C for blocks: the sender's mask must match the
 // vect_mask prediction, and any block we already hold must be
 // identical key-for-key to the relayed copy.
-func (g *blockView) mergeChecked(rv wire.View, expected bitset.Set) error {
+//
+// The key-for-key walk over held slots (O(Count·m)) is demoted to a
+// slow path: one pass folds the held slots' stored digests (O(1) each)
+// and self-hashes the slots it adopts, and if the accumulated digest
+// matches the sender's aggregate, every held copy agrees with its
+// relayed copy up to hash collision (DigestHit). On a mismatch the
+// key-for-key re-walk runs to produce the usual slot-level conflict
+// evidence; adopted slots were copied verbatim so they cannot conflict,
+// and if no held slot conflicts either, the sender's aggregate
+// disagrees with the very entries it relayed — Byzantine evidence
+// against the sender (DigestMiss both ways). Adopting before the
+// verdict is sound because every mergeChecked error fail-stops the
+// node.
+func (g *blockView) mergeChecked(rv wire.View, expected bitset.Set) (core.DigestOutcome, error) {
 	if err := rv.Validate(); err != nil {
-		return fmt.Errorf("malformed view: %w", err)
+		return core.DigestNone, fmt.Errorf("malformed view: %w", err)
 	}
 	if int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() || int(rv.BlockLen) != g.m {
-		return fmt.Errorf("view geometry [%d,+%d)x%d does not match subcube %v x%d",
+		return core.DigestNone, fmt.Errorf("view geometry [%d,+%d)x%d does not match subcube %v x%d",
 			rv.Base, rv.Size, rv.BlockLen, g.sc, g.m)
 	}
 	if !rv.Mask.Equal(expected) {
-		return fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
+		return core.DigestNone, fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
+	}
+	var acc wire.Digest
+	i := 0
+	rv.Mask.Each(func(idx int) bool {
+		if g.have.Has(idx) {
+			acc.Merge(g.slotDig[idx])
+		} else {
+			g.have.Add(idx)
+			copy(g.blocks[idx], rv.Block(i))
+			g.slotDig[idx] = wire.DigestOf(g.blocks[idx])
+			acc.Merge(g.slotDig[idx])
+		}
+		i++
+		return true
+	})
+	if acc == rv.Dig {
+		return core.DigestHit, nil
 	}
 	var conflict error
-	i := 0
+	i = 0
 	rv.Mask.Each(func(idx int) bool {
 		b := rv.Block(i)
 		i++
-		if g.have.Has(idx) {
-			for k := range b {
-				if g.blocks[idx][k] != b[k] {
-					conflict = fmt.Errorf("slot %d (node %d) key %d: held copy %d disagrees with relayed copy %d",
-						idx, g.sc.Start+idx, k, g.blocks[idx][k], b[k])
-					return false
-				}
+		for k := range b {
+			if g.blocks[idx][k] != b[k] {
+				conflict = fmt.Errorf("slot %d (node %d) key %d: held copy %d disagrees with relayed copy %d",
+					idx, g.sc.Start+idx, k, g.blocks[idx][k], b[k])
+				return false
 			}
-			return true
 		}
-		g.have.Add(idx)
-		copy(g.blocks[idx], b)
 		return true
 	})
-	return conflict
+	if conflict != nil {
+		return core.DigestMiss, conflict
+	}
+	return core.DigestMiss, fmt.Errorf("view digest inconsistent with relayed entries")
 }
 
 func (g *blockView) mergeLenient(rv wire.View) {
@@ -158,6 +213,10 @@ func (g *blockView) mergeLenient(rv wire.View) {
 		if !g.have.Has(idx) {
 			g.have.Add(idx)
 			copy(g.blocks[idx], b)
+			// Even a checks-skipping node keeps its slot digests
+			// consistent with what it holds, so the aggregates it
+			// relays match its entries.
+			g.slotDig[idx] = wire.DigestOf(g.blocks[idx])
 		}
 		return true
 	})
@@ -317,7 +376,7 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 	topo := r.ep.Topology()
 	n := topo.Dim()
 	mine := append([]int64{}, block...)
-	if err := localSort(r.ep, mine); err != nil {
+	if err := localSort(r.ep, mine, r.opts.Parallelism); err != nil {
 		return nil, err
 	}
 	if n == 0 {
@@ -326,6 +385,7 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 
 	var prevFlat []int64 // verified previous sequence, flattened (LLBS · m)
 	var prevSC hypercube.Subcube
+	var prevDig wire.Digest // multiset digest of prevFlat, saved at the stage boundary
 
 	for s := 0; s < n; s++ {
 		// Faulty-memory hook: the resident block may corrupt between
@@ -365,10 +425,25 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 			if perr != nil {
 				return nil, r.fail(core.ErrProgress, s, -1, "%v", perr)
 			}
+			// Φ_F fast path: the previous home subcube is a contiguous
+			// slot range of this stage's view, so its multiset digest
+			// folds from the stored per-slot digests in O(slots) and the
+			// permutation test is a digest comparison. A mismatch proves
+			// a real difference (equal multisets always digest equally);
+			// the element-level scan then runs only to produce today's
+			// attribution evidence, and remains authoritative.
 			lo := prevSC.Start - sc.Start
-			r.halfBuf = view.flattenInto(r.halfBuf[:0], lo, lo+prevSC.Size())
-			r.ep.ChargeCompare(2 * len(prevFlat))
-			ferr := core.Feasibility(prevFlat, r.halfBuf)
+			r.ep.ChargeCompare(wire.DigestCompareCost)
+			var ferr error
+			if view.rangeDigest(lo, lo+prevSC.Size()) == prevDig {
+				r.opts.Obs.DigestCheck(true)
+			} else {
+				r.opts.Obs.DigestCheck(false)
+				r.opts.Obs.DigestSlowScan()
+				r.halfBuf = view.flattenInto(r.halfBuf[:0], lo, lo+prevSC.Size())
+				r.ep.ChargeCompare(2 * len(prevFlat))
+				ferr = core.Feasibility(prevFlat, r.halfBuf)
+			}
 			r.phiCheck(obs.PhiF, s, -1, ferr == nil)
 			if ferr != nil {
 				return nil, r.fail(core.ErrFeasibility, s, -1, "%v", ferr)
@@ -378,6 +453,7 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 		// its buffer can be overwritten with this stage's sequence.
 		r.prevBuf = view.flattenInto(r.prevBuf[:0], 0, sc.Size())
 		prevFlat = r.prevBuf
+		prevDig = view.rangeDigest(0, sc.Size())
 		r.ep.ChargeKeyMove(len(prevFlat))
 		r.opts.Obs.StageEnd(id, s, false, stageVT, int64(r.ep.Clock()))
 		r.opts.Obs.PublishStage(obs.StageView{
@@ -423,9 +499,19 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 		if perr != nil {
 			return nil, r.fail(core.ErrProgress, n, -1, "%v", perr)
 		}
-		r.halfBuf = view.flattenInto(r.halfBuf[:0], 0, scAll.Size())
-		r.ep.ChargeCompare(2 * len(prevFlat))
-		ferr := core.Feasibility(prevFlat, r.halfBuf)
+		// Final Φ_F: the verification round re-gathers the whole cube,
+		// so the full range digest stands in for the permutation scan.
+		r.ep.ChargeCompare(wire.DigestCompareCost)
+		var ferr error
+		if view.rangeDigest(0, scAll.Size()) == prevDig {
+			r.opts.Obs.DigestCheck(true)
+		} else {
+			r.opts.Obs.DigestCheck(false)
+			r.opts.Obs.DigestSlowScan()
+			r.halfBuf = view.flattenInto(r.halfBuf[:0], 0, scAll.Size())
+			r.ep.ChargeCompare(2 * len(prevFlat))
+			ferr = core.Feasibility(prevFlat, r.halfBuf)
+		}
 		r.phiCheck(obs.PhiF, n, -1, ferr == nil)
 		if ferr != nil {
 			return nil, r.fail(core.ErrFeasibility, n, -1, "%v", ferr)
@@ -497,10 +583,10 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		var merr error
 		if r.opts.Compare != nil {
 			stage := s
-			lo, hi, compares, merr = bitonic.MergeSplitFuncInto(r.nextBuf(), mine, theirs,
-				func(a, b int64) bool { return r.opts.Compare(stage, a, b) })
+			lo, hi, compares, merr = bitonic.MergeSplitParallelFuncInto(r.nextBuf(), mine, theirs,
+				func(a, b int64) bool { return r.opts.Compare(stage, a, b) }, r.opts.Parallelism)
 		} else {
-			lo, hi, compares, merr = bitonic.MergeSplitInto(r.nextBuf(), mine, theirs)
+			lo, hi, compares, merr = bitonic.MergeSplitParallelInto(r.nextBuf(), mine, theirs, r.opts.Parallelism)
 		}
 		if merr != nil {
 			return nil, fmt.Errorf("blocksort: %w", merr)
@@ -577,7 +663,7 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		if j == s {
 			if idx := partner - view.sc.Start; view.have.Has(idx) {
 				r.msCheck = ensureCap(r.msCheck, 2*r.m)
-				wantLo, wantHi, _, merr := bitonic.MergeSplitInto(r.msCheck, mine, view.blocks[idx])
+				wantLo, wantHi, _, merr := bitonic.MergeSplitParallelInto(r.msCheck, mine, view.blocks[idx], r.opts.Parallelism)
 				if merr == nil {
 					wantKeep, wantGive := wantLo, wantHi
 					if !ascending {
@@ -670,8 +756,8 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 }
 
 func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, postExchange bool) error {
-	r.ep.ChargeCompare(rv.Mask.Count() * int(rv.BlockLen))
 	if r.opts.SkipChecks {
+		r.ep.ChargeCompare(rv.Mask.Count() * int(rv.BlockLen))
 		view.mergeLenient(rv)
 		return nil
 	}
@@ -685,7 +771,22 @@ func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, po
 	if err != nil {
 		return fmt.Errorf("blocksort: %w", err)
 	}
-	merr := view.mergeChecked(rv, expected)
+	outcome, merr := view.mergeChecked(rv, expected)
+	// Charge what the merge actually did: a hit folds one stored digest
+	// per relayed slot plus the aggregate comparison; a miss pays the
+	// key-for-key walk on top; a merge that failed validation before
+	// the digest pass charges the legacy walk cost.
+	switch outcome {
+	case core.DigestHit:
+		r.ep.ChargeCompare(rv.Mask.Count() + wire.DigestCompareCost)
+		r.opts.Obs.DigestCheck(true)
+	case core.DigestMiss:
+		r.ep.ChargeCompare(rv.Mask.Count() + wire.DigestCompareCost + rv.Mask.Count()*int(rv.BlockLen))
+		r.opts.Obs.DigestCheck(false)
+		r.opts.Obs.DigestSlowScan()
+	default:
+		r.ep.ChargeCompare(rv.Mask.Count() * int(rv.BlockLen))
+	}
 	r.phiCheck(obs.PhiC, s, j, merr == nil)
 	if merr != nil {
 		return r.failFrom(core.ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)

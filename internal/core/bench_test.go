@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hypercube"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 func benchSeq(n int, seed int64) []int64 {
@@ -63,6 +64,52 @@ func BenchmarkFeasibility(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := Feasibility(prev, cur); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeasibilityTwoPointer measures the paper-literal Φ_F slow
+// path on its preconditioned inputs (bitonic prev, sorted cur) — the
+// O(n)/O(1)-space alternative to the counting map above.
+func BenchmarkFeasibilityTwoPointer(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prev := benchSeq(n, 2)
+			lo, hi := prev[:n/2], prev[n/2:]
+			sortAsc(lo)
+			sortDesc(hi)
+			cur := append([]int64{}, prev...)
+			sortAsc(cur)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := FeasibilityTwoPointer(prev, cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeasibilityDigest measures the Φ_F fast path the other two
+// benchmarks are the slow paths of: the steady-state check is one
+// 128-bit comparison of incrementally maintained digests, independent
+// of n (the per-element Add cost is amortized into the exchange and
+// benchmarked by wire's digest benches).
+func BenchmarkFeasibilityDigest(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prev := benchSeq(n, 2)
+			cur := append([]int64{}, prev...)
+			rng := rand.New(rand.NewSource(3))
+			rng.Shuffle(len(cur), func(i, j int) { cur[i], cur[j] = cur[j], cur[i] })
+			prevDig := wire.DigestOf(prev)
+			curDig := wire.DigestOf(cur)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if prevDig != curDig {
+					b.Fatal("digests of a permutation differ")
 				}
 			}
 		})

@@ -71,13 +71,33 @@ func Feasibility(prev, cur []int64) error {
 	}
 	// Balanced counts with equal lengths imply none remain positive,
 	// but report the first missing value explicitly for diagnostics.
-	for v, c := range counts {
-		if c > 0 {
+	// Scan prev in order (not the counts map) so the reported value is
+	// deterministic run-to-run.
+	for _, v := range prev {
+		if counts[v] > 0 {
 			return fmt.Errorf("value %d from previous stage is missing: %w", v, ErrFeasibility)
 		}
 	}
 	return nil
 }
+
+// DigestOutcome records how a digest-accelerated check resolved, for
+// virtual-time charging and observability. Both the scalar S_FT path
+// and the blocksort BlockFT path report one of these per check.
+type DigestOutcome int
+
+const (
+	// DigestNone: the digest fast path did not apply (e.g. masks
+	// differ on a view merge) and the check ran element-level work
+	// directly, as before digests existed.
+	DigestNone DigestOutcome = iota
+	// DigestHit: digests agreed and the element-level scan was
+	// skipped.
+	DigestHit
+	// DigestMiss: digests disagreed; the element-level slow path ran
+	// to produce attribution evidence.
+	DigestMiss
+)
 
 // FeasibilityTwoPointer is the paper's literal Φ_F (Figure 4b): it
 // walks the current sequence in sort order, consuming the previous

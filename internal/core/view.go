@@ -11,10 +11,18 @@ import (
 // gatherView is a node's working copy of the stage's bitonic-sequence
 // view (the paper's LBS plus its lmask): values indexed by subcube
 // slot, with a knowledge mask saying which slots have been collected.
+// Alongside the values it maintains incremental multiset digests, one
+// per half of the subcube, so Φ_F can compare a stage's half against
+// the previous stage in O(1) and Φ_C can short-circuit whole-view
+// comparisons (see wire.Digest).
 type gatherView struct {
 	sc   hypercube.Subcube
 	have bitset.Set
 	vals []int64
+	// dig[0] digests the collected slots in [0, size/2), dig[1] those
+	// in [size/2, size). Maintained under every set/adopt so reading
+	// either half — or their merge, the full view — is O(1).
+	dig [2]wire.Digest
 }
 
 func newGatherView(sc hypercube.Subcube) *gatherView {
@@ -28,6 +36,7 @@ func newGatherView(sc hypercube.Subcube) *gatherView {
 func (g *gatherView) reset(sc hypercube.Subcube) {
 	g.sc = sc
 	g.have.Reset(sc.Size())
+	g.dig = [2]wire.Digest{}
 	if cap(g.vals) < sc.Size() {
 		g.vals = make([]int64, sc.Size())
 	} else {
@@ -38,10 +47,29 @@ func (g *gatherView) reset(sc hypercube.Subcube) {
 	}
 }
 
+// halfOf maps a slot index to the digest half it belongs to.
+func (g *gatherView) halfOf(slot int) int {
+	if slot < g.sc.Size()/2 {
+		return 0
+	}
+	return 1
+}
+
+// halfDig returns the digest of the collected slots in the given half.
+func (g *gatherView) halfDig(i int) wire.Digest { return g.dig[i] }
+
+// viewDigest returns the digest of every collected slot.
+func (g *gatherView) viewDigest() wire.Digest { return g.dig[0].Merged(g.dig[1]) }
+
 // set records the value for an absolute node label.
 func (g *gatherView) set(nodeLabel int, v int64) {
-	g.have.Add(nodeLabel - g.sc.Start)
-	g.vals[nodeLabel-g.sc.Start] = v
+	slot := nodeLabel - g.sc.Start
+	if g.have.Has(slot) {
+		g.dig[g.halfOf(slot)].Remove(g.vals[slot])
+	}
+	g.have.Add(slot)
+	g.vals[slot] = v
+	g.dig[g.halfOf(slot)].Add(v)
 }
 
 // complete reports whether every slot has been collected.
@@ -77,6 +105,7 @@ func (g *gatherView) wireViewInto(scratch []int64) wire.View {
 		BlockLen: 1,
 		Mask:     g.have,
 		Vals:     vals,
+		Dig:      g.viewDigest(),
 	}
 }
 
@@ -87,17 +116,35 @@ func (g *gatherView) wireViewInto(scratch []int64) wire.View {
 // sender's claimed mask must exactly match the knowledge the exchange
 // schedule entitles it to (the vect_mask prediction) — claiming more
 // is fabrication, claiming less is withholding, and both are faults.
-func (g *gatherView) mergeChecked(rv wire.View, expected bitset.Set) error {
+//
+// When the sender's mask equals ours the merge can only compare copies,
+// never adopt, so the relayed digest stands in for the whole walk: a
+// digest match accepts in O(1) (DigestHit), a mismatch runs the
+// element walk to produce the usual slot-level conflict evidence
+// (DigestMiss). If the walk finds no conflict, the sender's aggregate
+// digest disagrees with the entries it relayed — itself Byzantine
+// evidence against the sender. When masks differ the fast path does
+// not apply (DigestNone) and the merge walks entries as before.
+func (g *gatherView) mergeChecked(rv wire.View, expected bitset.Set) (DigestOutcome, error) {
 	if err := rv.Validate(); err != nil {
-		return fmt.Errorf("malformed view: %w", err)
+		return DigestNone, fmt.Errorf("malformed view: %w", err)
 	}
 	if int(rv.Base) != g.sc.Start || int(rv.Size) != g.sc.Size() {
-		return fmt.Errorf("view bounds [%d,+%d) do not match subcube %v", rv.Base, rv.Size, g.sc)
+		return DigestNone, fmt.Errorf("view bounds [%d,+%d) do not match subcube %v", rv.Base, rv.Size, g.sc)
 	}
 	if !rv.Mask.Equal(expected) {
-		return fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
+		return DigestNone, fmt.Errorf("claimed knowledge mask %s differs from schedule's %s", rv.Mask.String(), expected.String())
 	}
-	return g.adopt(rv)
+	if rv.Mask.Equal(g.have) {
+		if rv.Dig == g.viewDigest() {
+			return DigestHit, nil
+		}
+		if err := g.adopt(rv); err != nil {
+			return DigestMiss, err
+		}
+		return DigestMiss, fmt.Errorf("view digest inconsistent with relayed entries")
+	}
+	return DigestNone, g.adopt(rv)
 }
 
 // adopt folds the (already validated) view's entries in: overlapping
@@ -120,6 +167,7 @@ func (g *gatherView) adopt(rv wire.View) error {
 		}
 		g.have.Add(idx)
 		g.vals[idx] = v
+		g.dig[g.halfOf(idx)].Add(v)
 		return true
 	})
 	return conflict
@@ -153,6 +201,7 @@ func (g *gatherView) mergeLenient(rv wire.View) {
 		if !g.have.Has(idx) {
 			g.have.Add(idx)
 			g.vals[idx] = v
+			g.dig[g.halfOf(idx)].Add(v)
 		}
 		return true
 	})

@@ -33,13 +33,13 @@ type benchReport struct {
 
 func loadBaseline(t *testing.T) (map[string]benchPoint, int64) {
 	t.Helper()
-	raw, err := os.ReadFile("../../BENCH_PR2.json")
+	raw, err := os.ReadFile("../../BENCH_PR7.json")
 	if err != nil {
 		t.Skipf("no recorded baseline: %v", err)
 	}
 	var rep benchReport
 	if err := json.Unmarshal(raw, &rep); err != nil {
-		t.Fatalf("BENCH_PR2.json: %v", err)
+		t.Fatalf("BENCH_PR7.json: %v", err)
 	}
 	pts := make(map[string]benchPoint, len(rep.Points))
 	for _, p := range rep.Points {
@@ -52,7 +52,7 @@ func checkPoint(t *testing.T, pts map[string]benchPoint, name string, m Measurem
 	t.Helper()
 	p, ok := pts[name]
 	if !ok {
-		t.Fatalf("point %q missing from BENCH_PR2.json", name)
+		t.Fatalf("point %q missing from BENCH_PR7.json", name)
 	}
 	got := [5]int64{int64(m.Makespan), int64(m.Comm), int64(m.Comp), m.Msgs, m.Bytes}
 	want := [5]int64{p.VTicks, p.VComm, p.VComp, p.Msgs, p.WireBytes}

@@ -39,6 +39,17 @@ const (
 	// StaleReplay re-labels messages with an earlier stage/iteration,
 	// as a faulty node replaying old traffic would.
 	StaleReplay
+	// DigestLie corrupts the view's aggregate multiset digest while
+	// leaving the relayed entries honest — the attack aimed at the
+	// digest fast path itself. Receivers must notice the aggregate
+	// disagreeing with the entries it summarizes.
+	DigestLie
+	// PermuteLie swaps the first and last relayed view entries,
+	// corrupting slot attribution while preserving the multiset — so
+	// the aggregate digest stays consistent with the entries and only
+	// element-level evidence (held-copy conflicts, Φ_P shape) can
+	// catch it.
+	PermuteLie
 )
 
 var strategyNames = map[Strategy]string{
@@ -49,6 +60,8 @@ var strategyNames = map[Strategy]string{
 	Silence:       "silence",
 	MaskInflation: "mask-inflation",
 	StaleReplay:   "stale-replay",
+	DigestLie:     "digest-lie",
+	PermuteLie:    "permute-lie",
 }
 
 // String returns the strategy's kebab-case name.
@@ -61,7 +74,7 @@ func (s Strategy) String() string {
 
 // AllStrategies lists every Byzantine strategy, for sweeps.
 func AllStrategies() []Strategy {
-	return []Strategy{KeyLie, SplitLie, ViewLie, WrongCompare, Silence, MaskInflation, StaleReplay}
+	return []Strategy{KeyLie, SplitLie, ViewLie, WrongCompare, Silence, MaskInflation, StaleReplay, DigestLie, PermuteLie}
 }
 
 // Spec describes one injected processor fault.
@@ -112,6 +125,10 @@ func (s Spec) Tamper() func(m *wire.Message) *wire.Message {
 		return s.tamperMaskInflation()
 	case StaleReplay:
 		return s.tamperStaleReplay()
+	case DigestLie:
+		return s.tamperDigestLie()
+	case PermuteLie:
+		return s.tamperPermuteLie()
 	default:
 		return func(m *wire.Message) *wire.Message { return m }
 	}
@@ -272,6 +289,89 @@ func (s Spec) tamperMaskInflation() func(m *wire.Message) *wire.Message {
 			return m
 		}
 		return withPayload(m, buf)
+	}
+}
+
+func (s Spec) tamperDigestLie() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		corrupt := func(v *wire.View) {
+			v.Dig.Sum += uint64(s.LieValue)*2 + 1 // always changes Sum
+			v.Dig.Xor ^= wire.MixKey(s.LieValue) | 1
+		}
+		if !s.active(m) {
+			return m
+		}
+		switch m.Kind {
+		case wire.KindFTExchange:
+			p, err := wire.DecodeFTExchange(m.Payload)
+			if err != nil {
+				return m
+			}
+			corrupt(&p.View)
+			buf, err := wire.EncodeFTExchange(p)
+			if err != nil {
+				return m
+			}
+			return withPayload(m, buf)
+		case wire.KindVerify:
+			p, err := wire.DecodeVerify(m.Payload)
+			if err != nil {
+				return m
+			}
+			corrupt(&p.View)
+			buf, err := wire.EncodeVerify(p)
+			if err != nil {
+				return m
+			}
+			return withPayload(m, buf)
+		}
+		return m
+	}
+}
+
+func (s Spec) tamperPermuteLie() func(m *wire.Message) *wire.Message {
+	return func(m *wire.Message) *wire.Message {
+		swap := func(v *wire.View) bool {
+			n := len(v.Vals)
+			bl := int(v.BlockLen)
+			if n < 2*bl {
+				return false // fewer than two relayed slots
+			}
+			differ := false
+			for k := 0; k < bl; k++ {
+				if v.Vals[k] != v.Vals[n-bl+k] {
+					differ = true
+				}
+				v.Vals[k], v.Vals[n-bl+k] = v.Vals[n-bl+k], v.Vals[k]
+			}
+			return differ // a swap of identical entries is no lie
+		}
+		if !s.active(m) {
+			return m
+		}
+		switch m.Kind {
+		case wire.KindFTExchange:
+			p, err := wire.DecodeFTExchange(m.Payload)
+			if err != nil || !swap(&p.View) {
+				return m
+			}
+			buf, err := wire.EncodeFTExchange(p)
+			if err != nil {
+				return m
+			}
+			return withPayload(m, buf)
+		case wire.KindVerify:
+			p, err := wire.DecodeVerify(m.Payload)
+			if err != nil || !swap(&p.View) {
+				return m
+			}
+			buf, err := wire.EncodeVerify(p)
+			if err != nil {
+				return m
+			}
+			return withPayload(m, buf)
+		}
+		return m
 	}
 }
 

@@ -43,7 +43,7 @@ func TestStrategyString(t *testing.T) {
 	if Strategy(99).String() != "strategy(99)" {
 		t.Error("unknown strategy name wrong")
 	}
-	if len(AllStrategies()) != 7 {
+	if len(AllStrategies()) != 9 {
 		t.Errorf("AllStrategies has %d entries", len(AllStrategies()))
 	}
 }
@@ -64,8 +64,8 @@ func TestSFTCoverageNoSilentWrong(t *testing.T) {
 		}
 		t.Fatalf("summary: %+v", sum)
 	}
-	if sum.Total != 7*8 {
-		t.Errorf("total = %d, want 56", sum.Total)
+	if sum.Total != 9*8 {
+		t.Errorf("total = %d, want 72", sum.Total)
 	}
 	// Value-corrupting strategies must overwhelmingly be *detected*,
 	// not merely harmless.

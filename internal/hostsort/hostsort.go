@@ -135,7 +135,9 @@ func RunHostSortBlocksObs(nw transport.Network, blocks [][]int64, o *obs.Observe
 		}
 		o.SpanEnd("host-gather", -1, int64(h.Clock()))
 		o.SpanBegin("host-sort", -1, int64(h.Clock()))
-		sorted, compares := MergeSortCount(all)
+		// Parallel across the host's cores; output and comparison count
+		// (and so the charged virtual time) match MergeSortCount exactly.
+		sorted, compares := bitonic.ParallelMergeSortCount(all, 0)
 		h.ChargeCompare(compares)
 		h.ChargeKeyMove(len(sorted))
 		o.SpanEnd("host-sort", -1, int64(h.Clock()))

@@ -31,6 +31,8 @@ func TestRecordingZeroAllocs(t *testing.T) {
 		{"stage-end", func() { o.StageEnd(1, 2, false, 100, 400) }},
 		{"round-span", func() { o.RoundBegin(1, 2, 0, 100); o.RoundEnd(1, 2, 0, 200) }},
 		{"phi-check", func() { o.PhiCheck(PhiC, 1, 2, 0, true, 150) }},
+		{"digest-check", func() { o.DigestCheck(true); o.DigestCheck(false) }},
+		{"digest-slow-scan", func() { o.DigestSlowScan() }},
 		{"accusation", func() { o.Accusation(1, 2, 0, 3, 160) }},
 		{"merge-compares", func() { o.MergeCompares(31) }},
 		{"attempt-span", func() { o.AttemptBegin(1, 3); o.AttemptEnd(1, 3, 500, true) }},

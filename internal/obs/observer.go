@@ -26,6 +26,15 @@ type Metrics struct {
 	// bit_compare work — the block sort's dominant computation.
 	MergeCompares *Counter
 
+	// DigestHits and DigestMisses count digest-accelerated predicate
+	// checks by result: a hit skipped the element-level scan, a miss
+	// fell through to it. DigestSlowScans counts the slow-path scans
+	// actually run (one per miss; kept separate so the slow-path rate
+	// maps directly onto the paper's §5 overhead accounting).
+	DigestHits      *Counter
+	DigestMisses    *Counter
+	DigestSlowScans *Counter
+
 	// Accusations counts ERROR signals that implicate a specific peer.
 	Accusations *Counter
 
@@ -90,6 +99,14 @@ func NewMetrics(reg *Registry) *Metrics {
 	}
 	m.MergeCompares = reg.Counter("sort_merge_compares_total",
 		"Key comparisons charged by merge-split and bit_compare work.")
+	m.DigestHits = reg.Counter("sort_digest_checks_total",
+		"Digest-accelerated predicate checks, by result.",
+		Label{"result", "hit"})
+	m.DigestMisses = reg.Counter("sort_digest_checks_total",
+		"Digest-accelerated predicate checks, by result.",
+		Label{"result", "miss"})
+	m.DigestSlowScans = reg.Counter("sort_digest_slow_scans_total",
+		"Element-level slow-path scans run after a digest mismatch.")
 	m.Accusations = reg.Counter("sort_accusations_total",
 		"ERROR signals implicating a specific peer.")
 	m.Stages = reg.Counter("sort_stages_total",
@@ -353,6 +370,29 @@ func (o *Observer) MergeCompares(n int) {
 		return
 	}
 	o.M.MergeCompares.Add(int64(n))
+}
+
+// DigestCheck records one digest-accelerated predicate check.
+// Metrics-only (no journal event): digest checks happen on the hot
+// merge path and must stay allocation-free.
+func (o *Observer) DigestCheck(hit bool) {
+	if o == nil || o.M == nil {
+		return
+	}
+	if hit {
+		o.M.DigestHits.Inc()
+	} else {
+		o.M.DigestMisses.Inc()
+	}
+}
+
+// DigestSlowScan records one element-level slow-path scan run after a
+// digest mismatch.
+func (o *Observer) DigestSlowScan() {
+	if o == nil || o.M == nil {
+		return
+	}
+	o.M.DigestSlowScans.Inc()
 }
 
 // SpanBegin records the start of a labeled phase outside the bitonic

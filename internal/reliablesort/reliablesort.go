@@ -122,6 +122,12 @@ type Options struct {
 	// virtual time, so instrumented runs cost the same ticks as bare
 	// ones.
 	Obs *obs.Observer
+	// Parallelism caps the per-node worker count for the data-parallel
+	// merge-split and local-sort paths (threaded through to
+	// blocksort.Options.Parallelism on every attempt): <= 0 means
+	// GOMAXPROCS. Worker count never changes outputs or virtual-time
+	// charges, only wall-clock time.
+	Parallelism int
 
 	// NewNetwork overrides the transport constructor used for each
 	// attempt; nil means internal/simnet. The returned network must
@@ -230,7 +236,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 	}
 
 	if !opts.AutoRecover {
-		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout}, newNet, nil, opts.Obs)
+		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout}, newNet, nil, opts.Obs, opts.Parallelism)
 		stats.fromAttempt(at)
 		stats.Attempts = 1
 		if err != nil {
@@ -247,7 +253,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 			nodeOpts = opts.Inject(p.Attempt, p.Dim, p.Physical)
 		}
 		cfg := NetConfig{Dim: p.Dim, Spares: len(p.Spares), RecvTimeout: timeout}
-		flat, at, hostErrs, err := runAttempt(base, cfg, newNet, nodeOpts, opts.Obs)
+		flat, at, hostErrs, err := runAttempt(base, cfg, newNet, nodeOpts, opts.Obs, opts.Parallelism)
 		if err == nil {
 			result = flat
 			okStats = at
@@ -326,7 +332,7 @@ func spareLabels(dim, count int) []int {
 // dimension, and post-verifies the output against the Theorem 1
 // oracle. It returns the full padded ascending sequence; err is nil
 // exactly when that sequence is verified.
-func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer) ([]int64, attemptStats, []core.HostError, error) {
+func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer, parallelism int) ([]int64, attemptStats, []core.HostError, error) {
 	var at attemptStats
 	n := 1 << uint(cfg.Dim)
 	m := (len(base) + n - 1) / n
@@ -358,12 +364,13 @@ func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.N
 	if c, ok := nw.(interface{ Close() }); ok {
 		defer c.Close()
 	}
-	if o != nil {
+	if o != nil || parallelism > 0 {
 		if nodeOpts == nil {
 			nodeOpts = make([]blocksort.Options, n)
 		}
 		for i := range nodeOpts {
 			nodeOpts[i].Obs = o
+			nodeOpts[i].Parallelism = parallelism
 		}
 	}
 	oc, err := blocksort.RunFTWithOptions(nw, blocks, nodeOpts)

@@ -100,6 +100,27 @@ func TestVerifyRoundTripZeroAllocs(t *testing.T) {
 	})
 }
 
+// TestDigestMaintenanceZeroAllocs pins the incremental digest ops the
+// exchange hot path performs per element — Add, Remove, Merge — plus
+// the from-scratch DigestOf used by slow paths, at zero allocations.
+func TestDigestMaintenanceZeroAllocs(t *testing.T) {
+	keys := []int64{4, -4, 2, 9, 0, 7}
+	var d Digest
+	assertZeroAllocs(t, "Digest.Add/Remove/Merge/DigestOf", func() {
+		for _, k := range keys {
+			d.Add(k)
+		}
+		d.Merge(DigestOf(keys))
+		for _, k := range keys {
+			d.Remove(k)
+			d.Remove(k) // undo the merged copy too
+		}
+		if d != (Digest{}) {
+			t.Fatal("digest did not cancel")
+		}
+	})
+}
+
 func TestHostRoundTripZeroAllocs(t *testing.T) {
 	keys := []int64{4, 4, 2, 9, 0, 7}
 	var enc []byte

@@ -5,10 +5,13 @@
 // observation that the fault-tolerant algorithm S_FT keeps the message
 // count of S_NR while growing the message length.
 //
-// The format deliberately carries no checksums: the paper's threat
-// model is Byzantine (arbitrarily corrupted) messages, and detection is
-// the job of the application-level constraint predicate, not the
-// transport.
+// The format deliberately carries no transport checksums: the paper's
+// threat model is Byzantine (arbitrarily corrupted) messages, and
+// detection is the job of the application-level constraint predicate,
+// not the transport. The View's multiset Digest is not a transport
+// checksum — it is part of the application-level acceptance tests (the
+// sender's *claim* about its view, which Φ_C/Φ_F verify and may turn
+// into Byzantine evidence).
 package wire
 
 import (
@@ -281,8 +284,14 @@ type View struct {
 	Base     int32
 	Size     int32
 	BlockLen int32
-	Mask     bitset.Set
-	Vals     []int64
+	// Dig is the sender-claimed multiset digest of Vals (all known
+	// keys, order-independent). Receivers use it for the constant-time
+	// Φ_F/Φ_C fast paths; Validate deliberately does NOT check Dig
+	// against Vals — an inconsistent claim is Byzantine evidence the
+	// merge logic detects and attributes, not a malformed message.
+	Dig  Digest
+	Mask bitset.Set
+	Vals []int64
 }
 
 // NewView returns an empty one-key-per-slot view over the subcube
@@ -323,7 +332,8 @@ func (v View) Block(i int) []int64 {
 }
 
 // AppendView appends the view's encoding to buf:
-// base(4) size(4) blockLen(4) words(8 each) vals(8 each).
+// base(4) size(4) blockLen(4) digSum(8) digXor(8) words(8 each)
+// vals(8 each).
 func AppendView(buf []byte, v View) ([]byte, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
@@ -331,6 +341,8 @@ func AppendView(buf []byte, v View) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Base))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.BlockLen))
+	buf = binary.LittleEndian.AppendUint64(buf, v.Dig.Sum)
+	buf = binary.LittleEndian.AppendUint64(buf, v.Dig.Xor)
 	nWords := v.Mask.WordCount()
 	off := len(buf)
 	buf = extend(buf, 8*(nWords+len(v.Vals)))
@@ -367,6 +379,14 @@ func (r *reader) viewInto(s *DecodeScratch) (View, error) {
 	if err != nil {
 		return View{}, err
 	}
+	digSum, err := r.u64()
+	if err != nil {
+		return View{}, err
+	}
+	digXor, err := r.u64()
+	if err != nil {
+		return View{}, err
+	}
 	if size > MaxPayload/8 || blockLen < 1 || blockLen > MaxPayload/8 {
 		return View{}, fmt.Errorf("wire: view size %d block %d implausible: %w", size, blockLen, ErrTruncated)
 	}
@@ -389,13 +409,14 @@ func (r *reader) viewInto(s *DecodeScratch) (View, error) {
 	}
 	s.vals = scratchSlice(s.vals, total)
 	r.readKeys(s.vals)
-	return View{Base: int32(base), Size: int32(size), BlockLen: int32(blockLen), Mask: s.mask, Vals: s.vals}, nil
+	return View{Base: int32(base), Size: int32(size), BlockLen: int32(blockLen),
+		Dig: Digest{Sum: digSum, Xor: digXor}, Mask: s.mask, Vals: s.vals}, nil
 }
 
 // ViewEncodedSize returns the payload bytes AppendView produces for a
 // view over size slots with known known slots of blockLen keys each.
 func ViewEncodedSize(size, known, blockLen int) int {
-	return 4 + 4 + 4 + 8*((size+63)/64) + 8*known*blockLen
+	return 4 + 4 + 4 + 16 + 8*((size+63)/64) + 8*known*blockLen
 }
 
 // --- scratch decoding ------------------------------------------------------

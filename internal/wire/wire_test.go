@@ -275,9 +275,10 @@ func TestViewDecodeRejectsCorruptMask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Set a mask bit beyond the view size (byte 12 is the start of the
-	// mask word; bit 3 of a 3-slot view is invalid).
-	buf[12] |= 1 << 3
+	// Set a mask bit beyond the view size (byte 28 — after base, size,
+	// blockLen, and the 16-byte digest — is the start of the mask word;
+	// bit 3 of a 3-slot view is invalid).
+	buf[28] |= 1 << 3
 	if _, err := DecodeVerify(buf); err == nil {
 		t.Error("mask bit beyond size: want error")
 	}
