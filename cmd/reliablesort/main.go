@@ -11,8 +11,9 @@
 // Input is whitespace-separated 64-bit integers; output is one key per
 // line in the requested order. With -obs.listen the process serves the
 // observability endpoints (/metrics Prometheus text, /metrics?json=1,
-// /debug/journal) while sorting, and -obs.linger keeps it alive after
-// the sort so the series can be scraped.
+// /debug/journal, /debug/forensic) while sorting, and -obs.linger
+// keeps it alive after the sort so the series — and any forensic dumps
+// a detection produced — can be scraped.
 package main
 
 import (
@@ -20,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/reliablesort"
 )
 
@@ -48,13 +52,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	var observer *obs.Observer
+	var flight *forensic.Flight
 	if *obsListen != "" {
 		observer = obs.Default()
-		addr, err := obs.Serve(*obsListen, obs.DefaultRegistry(), observer.Journal())
+		flight = forensic.New(0)
+		// One mux for the whole observability surface: the obs handler's
+		// /metrics and /debug/journal plus the flight's /debug/forensic.
+		obsH := obs.Handler(obs.DefaultRegistry(), observer.Journal())
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obsH)
+		mux.Handle("/debug/journal", obsH)
+		mux.Handle("/debug/forensic", flight.Handler())
+		ln, err := net.Listen("tcp", *obsListen)
 		if err != nil {
 			return fmt.Errorf("obs.listen: %w", err)
 		}
-		fmt.Fprintf(stderr, "observability endpoints on http://%s/metrics and /debug/journal\n", addr)
+		go (&http.Server{Handler: mux}).Serve(ln)
+		fmt.Fprintf(stderr, "observability endpoints on http://%s/metrics, /debug/journal, /debug/forensic\n", ln.Addr())
 	}
 
 	in := stdin
@@ -79,6 +93,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Dim:         *dim,
 		RecvTimeout: *timeout,
 		Obs:         observer,
+		Flight:      flight,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypercube"
+	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
@@ -34,6 +36,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracesort", flag.ContinueOnError)
 	keysFlag := fs.String("keys", "10,8,3,9,4,2,7,5", "comma-separated keys, one per node (power-of-two count)")
+	causal := fs.Bool("causal", false, "print each node's causal event id per stage (joins against forensic dumps)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,12 +52,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// The recorder consumes the unified stage-view stream (rather than
+	// the deprecated core.Options.Trace hook) so each event carries the
+	// causal id that joins it against forensic dumps.
 	var rec trace.Recorder
+	observer := obs.New(obs.NewRegistry(), 0)
+	observer.Subscribe(&rec)
+	flight := forensic.New(0)
 	opts := make([]core.Options, len(keys))
 	for id := range opts {
-		opts[id] = core.Options{Trace: rec.Hook()}
+		opts[id] = core.Options{Obs: observer, Forensic: flight.Node(id)}
 	}
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 10 * time.Second})
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: 10 * time.Second, Flight: flight})
 	if err != nil {
 		return err
 	}
@@ -66,6 +75,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "S_FT worked example (Figure 5) — sorting %v on %d nodes\n", keys, len(keys))
 	fmt.Fprintf(out, "Initial placement: node i holds keys[i].\n\n")
 	fmt.Fprint(out, rec.Render())
+	if *causal {
+		fmt.Fprintf(out, "Causal event ids (node, stage -> flight-recorder id):\n")
+		for _, ev := range rec.CausalEvents() {
+			fmt.Fprintf(out, "  node %d stage %d: %d\n", ev.Node, ev.Stage, uint64(ev.Causal))
+		}
+		fmt.Fprintln(out)
+	}
 	if oc.Detected() {
 		fmt.Fprintf(out, "ERROR signalled: %v %v\n", oc.Result.FirstNodeErr(), oc.HostErrors)
 		return fmt.Errorf("unexpected fault detection on honest run")

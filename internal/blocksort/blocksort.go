@@ -19,6 +19,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -48,6 +49,12 @@ type Options struct {
 	// endpoint clock but never charges it; all Observer methods are
 	// nil-safe and allocation-free.
 	Obs *obs.Observer
+	// Forensic, when non-nil, is this node's flight recorder (mirrors
+	// core.Options.Forensic): predicate evaluations, merge-splits, and
+	// accusations land in the same ring as the transport's send/recv
+	// events, and a predicate failure triggers a forensic dump. Use a
+	// recorder from the Flight the transport was configured with.
+	Forensic *forensic.Recorder
 	// Parallelism caps the worker count for the data-parallel
 	// merge-split and local-sort paths (mirrors core.Options): <= 0
 	// means GOMAXPROCS. Worker count never changes outputs or charged

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -351,6 +352,10 @@ func (r *ftRunner) failEvidence(kind error, ev core.ErrorKind, stage, iter, accu
 		Accused:  accused,
 		Detail:   fmt.Sprintf(format, args...),
 	}
+	// Record the accusation (and take the forensic dump) before the
+	// ERROR signal leaves, mirroring the core runner.
+	r.opts.Forensic.Accuse(forensic.PredCode(core.PredicateName(kind)), uint8(ev),
+		int32(stage), int32(iter), int32(accused), pe.Detail, int64(r.ep.Clock()))
 	_ = r.ep.SendHost(wire.Message{
 		Kind:  wire.KindError,
 		Stage: int32(stage),
@@ -366,9 +371,13 @@ func (r *ftRunner) failEvidence(kind error, ev core.ErrorKind, stage, iter, accu
 }
 
 // phiCheck reports one constraint-predicate evaluation to the
-// observer. A no-op without one.
+// observer and the flight recorder. A no-op without either.
 func (r *ftRunner) phiCheck(p obs.Phi, stage, iter int, pass bool) {
 	r.opts.Obs.PhiCheck(p, r.ep.ID(), stage, iter, pass, int64(r.ep.Clock()))
+	if r.opts.Forensic != nil {
+		r.opts.Forensic.Phi(core.PhiPred(p), int32(stage), int32(iter), pass,
+			r.view.rangeDigest(0, r.view.sc.Size()), int64(r.ep.Clock()))
+	}
 }
 
 func (r *ftRunner) run(block []int64) ([]int64, error) {
@@ -460,6 +469,7 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 			Node: id, Stage: s,
 			SubcubeStart: sc.Start, SubcubeSize: sc.Size(),
 			BlockLen: r.m, Assembled: prevFlat,
+			Causal: r.opts.Forensic.LastID(),
 		})
 		prevSC = sc
 	}
@@ -526,6 +536,7 @@ func (r *ftRunner) run(block []int64) ([]int64, error) {
 			Node: id, Stage: n, Final: true,
 			SubcubeStart: scAll.Start, SubcubeSize: scAll.Size(),
 			BlockLen: r.m, Assembled: r.halfBuf,
+			Causal: r.opts.Forensic.LastID(),
 		})
 	}
 	return mine, nil
@@ -593,6 +604,12 @@ func (r *ftRunner) exchange(view *blockView, mine []int64, s, j int) ([]int64, e
 		}
 		r.ep.ChargeCompare(compares)
 		r.opts.Obs.MergeCompares(compares)
+		if r.opts.Forensic != nil {
+			// The kept half's digest fingerprints the merge-split verdict
+			// in the flight recorder (wall-clock only; never charged).
+			r.opts.Forensic.Merge(int32(s), int32(j), int64(compares),
+				wire.DigestOf(lo), int64(r.ep.Clock()))
+		}
 		r.ep.ChargeKeyMove(2 * r.m)
 		keep, give := lo, hi
 		if !ascending {
@@ -756,6 +773,10 @@ func (r *ftRunner) verifyExchange(view *blockView, s, j int) error {
 }
 
 func (r *ftRunner) mergeView(view *blockView, rv wire.View, s, j, sender int, postExchange bool) error {
+	// The sender's claimed aggregate digest fingerprints the merged view
+	// in the flight recorder.
+	r.opts.Forensic.Merge(int32(s), int32(j), int64(rv.Mask.Count()),
+		rv.Dig, int64(r.ep.Clock()))
 	if r.opts.SkipChecks {
 		r.ep.ChargeCompare(rv.Mask.Count() * int(rv.BlockLen))
 		view.mergeLenient(rv)

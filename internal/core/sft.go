@@ -25,6 +25,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -32,6 +33,11 @@ import (
 // TraceEvent reports a node's assembled, verified sequence at the end
 // of a stage; cmd/tracesort uses it to reproduce the paper's Figure 5
 // worked example.
+//
+// Deprecated: subscribe to obs.StageView through Options.Obs instead;
+// stage views carry the same assembled sequence plus the causal event
+// id that joins them against forensic dumps. TraceEvent remains for
+// compatibility and will receive no new fields.
 type TraceEvent struct {
 	// Node is the reporting node.
 	Node int
@@ -78,7 +84,21 @@ type Options struct {
 	SkipChecks bool
 	// Trace, when non-nil, receives a TraceEvent at the end of every
 	// stage and after the final verification.
+	//
+	// Deprecated: use Options.Obs with a StageSubscriber; published
+	// stage views additionally carry the causal event id forensic
+	// dumps key on.
 	Trace func(ev TraceEvent)
+	// Forensic, when non-nil, is this node's flight recorder: predicate
+	// evaluations, view merges, and accusations are recorded alongside
+	// the transport's send/recv events, and a predicate failure
+	// triggers a forensic dump of every ring. Use the same
+	// forensic.Flight the transport was configured with so causal
+	// chains cross the wire. Recording reads the endpoint clock but
+	// never charges it, and appends are allocation-free, so attaching a
+	// recorder perturbs neither virtual time nor the zero-alloc
+	// exchange path.
+	Forensic *forensic.Recorder
 	// Obs, when non-nil, receives stage/round spans, Φ evaluations,
 	// accusations, and stage views. Recording reads the endpoint clock
 	// but never charges it, so virtual-time results are identical with
@@ -183,6 +203,11 @@ func (r *sftRunner) failEvidence(kind error, ev ErrorKind, stage, iter, accused 
 		Accused:  accused,
 		Detail:   fmt.Sprintf(format, args...),
 	}
+	// The accusation is recorded (and the forensic dump taken) before
+	// the ERROR signal leaves, so the report's rings cannot contain the
+	// signalling itself — only the evidence that led to it.
+	r.opts.Forensic.Accuse(forensic.PredCode(PredicateName(kind)), uint8(ev),
+		int32(stage), int32(iter), int32(accused), pe.Detail, int64(r.ep.Clock()))
 	// Host signalling is best-effort: the host link is reliable by
 	// assumption, but a full mailbox must not mask the local error.
 	_ = r.ep.SendHost(wire.Message{
@@ -200,9 +225,25 @@ func (r *sftRunner) failEvidence(kind error, ev ErrorKind, stage, iter, accused 
 }
 
 // phiCheck reports one constraint-predicate evaluation to the
-// observer. A no-op without one.
+// observer and the flight recorder. A no-op without either.
 func (r *sftRunner) phiCheck(p obs.Phi, stage, iter int, pass bool) {
 	r.opts.Obs.PhiCheck(p, r.ep.ID(), stage, iter, pass, int64(r.ep.Clock()))
+	r.opts.Forensic.Phi(PhiPred(p), int32(stage), int32(iter), pass,
+		r.view.viewDigest(), int64(r.ep.Clock()))
+}
+
+// PhiPred maps an obs predicate label to its forensic record code.
+func PhiPred(p obs.Phi) uint8 {
+	switch p {
+	case obs.PhiP:
+		return forensic.PredProgress
+	case obs.PhiF:
+		return forensic.PredFeasibility
+	case obs.PhiC:
+		return forensic.PredConsistency
+	default:
+		return forensic.PredNone
+	}
 }
 
 func (r *sftRunner) run(key int64) (int64, error) {
@@ -300,6 +341,7 @@ func (r *sftRunner) run(key int64) (int64, error) {
 			Node: id, Stage: s,
 			SubcubeStart: sc.Start, SubcubeSize: sc.Size(),
 			BlockLen: 1, Assembled: assembled,
+			Causal: r.opts.Forensic.LastID(),
 		})
 		prevSeq = assembled
 		prevSC = sc
@@ -376,6 +418,7 @@ func (r *sftRunner) run(key int64) (int64, error) {
 		Node: id, Stage: n, Final: true,
 		SubcubeStart: scAll.Start, SubcubeSize: scAll.Size(),
 		BlockLen: 1, Assembled: finalSeq,
+		Causal: r.opts.Forensic.LastID(),
 	})
 	return a, nil
 }
@@ -668,6 +711,8 @@ func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, 
 		// vect_mask evaluation (Lemma 9's O(2^{j+1} + 2^{i-j}) bound).
 		r.ep.ChargeCompare(rv.Mask.Count())
 		view.mergeLenient(rv)
+		r.opts.Forensic.Merge(int32(s), int32(j), int64(rv.Mask.Count()),
+			view.viewDigest(), int64(r.ep.Clock()))
 		return nil
 	}
 	if r.opts.TrustSenderMasks {
@@ -675,6 +720,8 @@ func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, 
 		// are still checked, entry by entry as before digests.
 		r.ep.ChargeCompare(rv.Mask.Count())
 		merr := view.mergeTrusting(rv)
+		r.opts.Forensic.Merge(int32(s), int32(j), int64(rv.Mask.Count()),
+			view.viewDigest(), int64(r.ep.Clock()))
 		r.phiCheck(obs.PhiC, s, j, merr == nil)
 		if merr != nil {
 			return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)
@@ -700,6 +747,8 @@ func (r *sftRunner) mergeView(view *gatherView, rv wire.View, s, j, sender int, 
 	default:
 		r.ep.ChargeCompare(rv.Mask.Count())
 	}
+	r.opts.Forensic.Merge(int32(s), int32(j), int64(rv.Mask.Count()),
+		view.viewDigest(), int64(r.ep.Clock()))
 	r.phiCheck(obs.PhiC, s, j, merr == nil)
 	if merr != nil {
 		return r.failFrom(ErrConsistency, s, j, sender, "view from %d: %v", sender, merr)

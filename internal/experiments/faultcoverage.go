@@ -247,6 +247,9 @@ func measureCoverageCell(cfg CoverageSweep, algo string, dim int, row coverageRo
 				det = "node-local"
 			}
 			cell.Detectors[det]++
+			if ferr := validateForensic(res, row.class); ferr != nil {
+				return CoverageCell{}, fmt.Errorf("run %d node %d: %w", run, node, ferr)
+			}
 		case fault.CorrectDespiteFault:
 			cell.Correct++
 		case fault.SilentWrong:
@@ -257,6 +260,42 @@ func measureCoverageCell(cfg CoverageSweep, algo string, dim int, row coverageRo
 		o.FaultOutcome(row.class.Obs(), res.Verdict == fault.Detected, res.Verdict == fault.SilentWrong)
 	}
 	return cell, nil
+}
+
+// validateForensic cross-checks a detected run's flight-recorder dump
+// against its verdict: every host-level detection must come with a
+// report whose accused node and predicate agree with the earliest host
+// evidence, and — for the classes whose lies travel over messages
+// (message and comparison faults) — whose causal chain spans at least
+// the accuser-side evidence and the hop it arrived on.
+func validateForensic(res fault.Result, class fault.Class) error {
+	if res.Detector == "node-local" {
+		// The node fail-stopped before its ERROR reached the host, so
+		// no accusation dump was taken.
+		return nil
+	}
+	rep := res.Forensic
+	if rep == nil {
+		return fmt.Errorf("detected (%s via %s) but no forensic report attached",
+			res.Predicate, res.Detector)
+	}
+	if len(rep.Chain) == 0 || len(rep.Nodes) == 0 {
+		return fmt.Errorf("forensic report is empty: %d chain hops, %d node logs",
+			len(rep.Chain), len(rep.Nodes))
+	}
+	if res.Accused >= 0 && int(rep.Accused) != res.Accused {
+		return fmt.Errorf("forensic report accuses node %d, verdict accuses node %d",
+			rep.Accused, res.Accused)
+	}
+	if rep.Predicate != res.Predicate {
+		return fmt.Errorf("forensic report predicate %q, verdict predicate %q",
+			rep.Predicate, res.Predicate)
+	}
+	if (class == fault.ClassMessage || class == fault.ClassComparison) && len(rep.Chain) < 2 {
+		return fmt.Errorf("%s-fault dump has a causal chain of %d hop(s), want >= 2",
+			class, len(rep.Chain))
+	}
+	return nil
 }
 
 // SilentWrongCells returns the cells with at least one silent-wrong

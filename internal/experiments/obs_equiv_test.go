@@ -11,6 +11,7 @@ import (
 	"repro/internal/hostsort"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/simnet"
 	"repro/internal/sortnr"
 )
@@ -63,15 +64,17 @@ func checkPoint(t *testing.T, pts map[string]benchPoint, name string, m Measurem
 
 // TestObservedSeriesMatchBaseline pins ISSUE acceptance: the recorded
 // virtual-tick series must stay bit-identical when the unified
-// observability layer is fully enabled — metrics, journal, spans, and
-// Φ recording all on. Observation reads the virtual clocks but must
-// never charge them.
+// observability layer is fully enabled — metrics, journal, spans, Φ
+// recording, and causal flight-recorder tracing all on. Observation
+// reads the virtual clocks but must never charge them, and the trace
+// trailer every traced message carries must never count as wire bytes.
 func TestObservedSeriesMatchBaseline(t *testing.T) {
 	pts, seed := loadBaseline(t)
 	o := obs.New(obs.NewRegistry(), 1024)
+	flight := forensic.New(0)
 
 	obsNet := func(dim int) *simnet.Network {
-		nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: runTimeout, Obs: o.Metrics()})
+		nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: runTimeout, Obs: o.Metrics(), Flight: flight})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,6 +105,7 @@ func TestObservedSeriesMatchBaseline(t *testing.T) {
 		copts := make([]core.Options, n)
 		for id := range copts {
 			copts[id].Obs = o
+			copts[id].Forensic = flight.Node(id)
 		}
 		oc, err := core.RunWithOptions(obsNet(dim), keys, copts)
 		if err != nil {
@@ -148,6 +152,7 @@ func TestObservedSeriesMatchBaseline(t *testing.T) {
 		bopts := make([]blocksort.Options, n)
 		for id := range bopts {
 			bopts[id].Obs = o
+			bopts[id].Forensic = flight.Node(id)
 		}
 		oc, err := blocksort.RunFTWithOptions(obsNet(dim), blocks, bopts)
 		if err != nil {
@@ -180,5 +185,8 @@ func TestObservedSeriesMatchBaseline(t *testing.T) {
 	}
 	if v := o.Metrics().MsgsTotal[1].Value(); v == 0 {
 		t.Error("message counters recorded nothing — transport obs not wired")
+	}
+	if flight.Node(0).Len() == 0 {
+		t.Error("flight recorder captured no events — causal tracing was not wired through")
 	}
 }

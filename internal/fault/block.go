@@ -8,6 +8,7 @@ import (
 	"repro/internal/blocksort"
 	"repro/internal/checker"
 	"repro/internal/hostsort"
+	"repro/internal/obs/forensic"
 	"repro/internal/simnet"
 )
 
@@ -23,12 +24,16 @@ func InjectBlockFT(dim int, blocks [][]int64, spec Spec, timeout time.Duration) 
 	if len(blocks) != n {
 		return Result{}, fmt.Errorf("fault: %d blocks for %d nodes", len(blocks), n)
 	}
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	flight := forensic.New(0)
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout, Flight: flight})
 	if err != nil {
 		return Result{}, err
 	}
 	opts := make([]blocksort.Options, n)
 	opts[spec.Node] = blocksort.Options{SkipChecks: true, Tamper: spec.Tamper()}
+	for i := range opts {
+		opts[i].Forensic = flight.Node(i)
+	}
 	oc, err := blocksort.RunFTWithOptions(nw, blocks, opts)
 	if err != nil {
 		return Result{}, err
@@ -36,6 +41,7 @@ func InjectBlockFT(dim int, blocks [][]int64, spec Spec, timeout time.Duration) 
 	res := Result{Spec: spec, Class: spec.Strategy.Class(), Label: spec.Strategy.String()}
 	if oc.Detected() {
 		res.classify(true, oc.HostErrors)
+		res.attachForensic(flight, oc.HostErrors)
 		return res, nil
 	}
 	all := hostsort.SortedBlocksFlat(blocks)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hostsort"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/simnet"
 )
 
@@ -90,18 +91,23 @@ func injectSFTWith(dim int, keys []int64, faulty int, o core.Options, timeout ti
 	if len(keys) != n {
 		return Result{}, fmt.Errorf("fault: %d keys for %d nodes", len(keys), n)
 	}
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	flight := forensic.New(0)
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout, Flight: flight})
 	if err != nil {
 		return Result{}, err
 	}
 	opts := make([]core.Options, n)
 	opts[faulty] = o
+	for i := range opts {
+		opts[i].Forensic = flight.Node(i)
+	}
 	oc, err := core.RunWithOptions(nw, keys, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	if oc.Detected() {
 		res.classify(true, oc.HostErrors)
+		res.attachForensic(flight, oc.HostErrors)
 		return res, nil
 	}
 	if cerr := checker.Verify(keys, oc.Sorted, true); cerr != nil {
@@ -118,18 +124,23 @@ func injectBlockFTWith(dim int, blocks [][]int64, faulty int, o blocksort.Option
 	if len(blocks) != n {
 		return Result{}, fmt.Errorf("fault: %d blocks for %d nodes", len(blocks), n)
 	}
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	flight := forensic.New(0)
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout, Flight: flight})
 	if err != nil {
 		return Result{}, err
 	}
 	opts := make([]blocksort.Options, n)
 	opts[faulty] = o
+	for i := range opts {
+		opts[i].Forensic = flight.Node(i)
+	}
 	oc, err := blocksort.RunFTWithOptions(nw, blocks, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	if oc.Detected() {
 		res.classify(true, oc.HostErrors)
+		res.attachForensic(flight, oc.HostErrors)
 		return res, nil
 	}
 	all := hostsort.SortedBlocksFlat(blocks)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/obs/forensic"
 	"repro/internal/simnet"
 	"repro/internal/sortnr"
 	"repro/internal/wire"
@@ -62,6 +63,16 @@ type Result struct {
 	// missing message, or "node-local" when a node fail-stopped
 	// without its ERROR reaching the host. Empty when not Detected.
 	Detector string
+	// Accused is the node the earliest detection evidence implicates;
+	// -1 when the evidence names no culprit or the detection was
+	// node-local. Meaningful only when Verdict is Detected.
+	Accused int
+	// Forensic is the flight-recorder dump taken by the accusing node
+	// at detection time: the accusation's causal message chain and the
+	// per-node event rings. Nil when the run was not Detected (or the
+	// detection never produced an accusation, e.g. a node-local
+	// fail-stop with no evidence record).
+	Forensic *forensic.Report
 }
 
 // earliestHostError picks the detection evidence deterministically:
@@ -86,6 +97,7 @@ func earliestHostError(errs []core.HostError) (core.HostError, bool) {
 // classify fills a Result's detection fields from a finished run's
 // host evidence.
 func (r *Result) classify(detected bool, errs []core.HostError) {
+	r.Accused = -1
 	if !detected {
 		return
 	}
@@ -96,11 +108,37 @@ func (r *Result) classify(detected bool, errs []core.HostError) {
 		return
 	}
 	r.Predicate = he.Predicate
+	r.Accused = he.Accused
 	if he.Kind == core.KindAbsence {
 		r.Detector = "absence"
 	} else {
 		r.Detector = he.Predicate
 	}
+}
+
+// attachForensic pairs a classified Detected result with the flight
+// dump its earliest host evidence triggered, matching on the
+// (accuser, stage, iter, predicate) coordinate; when the earliest
+// evidence produced no dump (raced rings, node-local detection) the
+// latest dump stands in, and a run with no dumps leaves Forensic nil.
+func (r *Result) attachForensic(flight *forensic.Flight, errs []core.HostError) {
+	if r.Verdict != Detected || flight == nil {
+		return
+	}
+	reports := flight.Reports()
+	if len(reports) == 0 {
+		return
+	}
+	if he, ok := earliestHostError(errs); ok {
+		for _, rep := range reports {
+			if int(rep.Accuser) == he.Node && int(rep.Stage) == he.Stage &&
+				int(rep.Iter) == he.Iter && rep.Predicate == he.Predicate {
+				r.Forensic = rep
+				return
+			}
+		}
+	}
+	r.Forensic = reports[len(reports)-1]
 }
 
 // InjectSFT runs S_FT on a fresh network with one Byzantine processor
@@ -115,12 +153,16 @@ func InjectSFT(dim int, keys []int64, spec Spec, timeout time.Duration) (Result,
 	if len(keys) != n {
 		return Result{}, fmt.Errorf("fault: %d keys for %d nodes", len(keys), n)
 	}
-	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout})
+	flight := forensic.New(0)
+	nw, err := simnet.New(simnet.Config{Dim: dim, RecvTimeout: timeout, Flight: flight})
 	if err != nil {
 		return Result{}, err
 	}
 	opts := make([]core.Options, n)
 	opts[spec.Node] = core.Options{SkipChecks: true, Tamper: spec.Tamper()}
+	for i := range opts {
+		opts[i].Forensic = flight.Node(i)
+	}
 	oc, err := core.RunWithOptions(nw, keys, opts)
 	if err != nil {
 		return Result{}, err
@@ -128,6 +170,7 @@ func InjectSFT(dim int, keys []int64, spec Spec, timeout time.Duration) (Result,
 	res := Result{Spec: spec, Class: spec.Strategy.Class(), Label: spec.Strategy.String()}
 	if oc.Detected() {
 		res.classify(true, oc.HostErrors)
+		res.attachForensic(flight, oc.HostErrors)
 		return res, nil
 	}
 	if cerr := checker.Verify(keys, oc.Sorted, true); cerr != nil {

@@ -1,0 +1,111 @@
+package forensic
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Chrome trace_event export. Events are keyed on virtual time, not
+// wall time, so the same seed renders the same trace byte-for-byte —
+// the golden test pins the shape. Load the output in a trace viewer
+// (chrome://tracing, Perfetto): one track per node, instant events for
+// every flight-recorder record, flow arrows from each send to its
+// receive, and the chain hops marked so the accusation's lineage
+// stands out.
+
+// chromeEvent is one entry of the trace_event "traceEvents" array.
+// Field order is fixed by the struct, which is what keeps the export
+// deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"otherData"`
+}
+
+// ChromeTrace renders the report in Chrome trace_event JSON format.
+func (r *Report) ChromeTrace() ([]byte, error) {
+	onChain := make(map[string]bool, len(r.Chain))
+	for _, h := range r.Chain {
+		onChain[fmt.Sprintf("%d", uint64(h.ID))] = true
+	}
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]string{
+			"accuser":   fmt.Sprintf("%d", r.Accuser),
+			"accused":   fmt.Sprintf("%d", r.Accused),
+			"predicate": r.Predicate,
+		},
+	}
+	for _, log := range r.Nodes {
+		for _, h := range log.Events {
+			id := fmt.Sprintf("%d", uint64(h.ID))
+			cat := h.Kind
+			if onChain[id] {
+				cat = h.Kind + ",chain"
+			}
+			ev := chromeEvent{
+				Name:  eventName(h),
+				Phase: "i",
+				TS:    h.VTicks,
+				TID:   h.Node,
+				Scope: "t",
+				Cat:   cat,
+				Args: map[string]any{
+					"id":    uint64(h.ID),
+					"stage": h.Stage,
+					"iter":  h.Iter,
+					"peer":  h.Peer,
+				},
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ev)
+			// Flow arrows: one start per send, one finish per recv that
+			// resolved its sender.
+			switch h.Kind {
+			case "send":
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: "msg", Phase: "s", TS: h.VTicks, TID: h.Node,
+					ID: id, Cat: "flow",
+				})
+			case "recv":
+				if h.Remote != 0 {
+					tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+						Name: "msg", Phase: "f", BP: "e", TS: h.VTicks, TID: h.Node,
+						ID: fmt.Sprintf("%d", uint64(h.Remote)), Cat: "flow",
+					})
+				}
+			}
+		}
+	}
+	return json.MarshalIndent(tr, "", " ")
+}
+
+// eventName is the display label of a record in the trace viewer.
+func eventName(h Hop) string {
+	switch h.Kind {
+	case "send", "recv":
+		return h.Kind + " " + h.MsgKind
+	case "phi":
+		verdict := "fail"
+		if h.Pass {
+			verdict = "pass"
+		}
+		return "phi " + h.Predicate + " " + verdict
+	case "accuse":
+		return "accuse " + h.Predicate
+	default:
+		return h.Kind
+	}
+}

@@ -1,0 +1,76 @@
+package forensic
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport builds a small fully-deterministic two-node report: an
+// honest exchange, a lying message, a failed consistency check, the
+// accusation.
+func goldenReport() *Report {
+	f := New(8)
+	sender, recver := f.Node(1), f.Node(0)
+	sender.Phi(PredProgress, 1, 0, true, wire.Digest{Sum: 11, Xor: 5}, 4)
+	tc := sender.Send(wire.KindExchange, 0, 2, 1, 10)
+	recver.Recv(&wire.Message{Kind: wire.KindExchange, From: 1, To: 0, Stage: 2, Iter: 1, Trace: tc}, 12)
+	recver.Merge(2, 1, 3, wire.Digest{Sum: 7, Xor: 3}, 13)
+	recver.Phi(PredConsistency, 2, 1, false, wire.Digest{Sum: 7, Xor: 3}, 14)
+	return recver.Accuse(PredConsistency, 1, 2, 1, 1, "view digest mismatch", 15)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run go test -run Golden -update ./internal/obs/forensic to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenChromeTrace pins the Chrome trace_event export shape:
+// virtual-time timestamps, one instant event per record, flow arrows
+// joining each send to its receive, chain hops tagged in cat.
+func TestGoldenChromeTrace(t *testing.T) {
+	buf, err := goldenReport().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", buf)
+}
+
+// TestChromeTraceDeterministic double-renders a structurally identical
+// report and demands byte equality — the export must not depend on map
+// iteration or wall time.
+func TestChromeTraceDeterministic(t *testing.T) {
+	a, err := goldenReport().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := goldenReport().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two renders of the same report differ")
+	}
+}

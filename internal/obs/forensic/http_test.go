@@ -1,0 +1,77 @@
+package forensic
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHandler(t *testing.T) {
+	f := New(8)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	// Empty flight: an empty JSON array, 404 for selections.
+	code, body := get(t, srv.URL)
+	if code != http.StatusOK {
+		t.Fatalf("empty flight: status %d", code)
+	}
+	var reports []json.RawMessage
+	if err := json.Unmarshal(body, &reports); err != nil || len(reports) != 0 {
+		t.Fatalf("empty flight body %q, want []", body)
+	}
+	if code, _ := get(t, srv.URL+"?latest=1"); code != http.StatusNotFound {
+		t.Errorf("latest on empty flight: status %d, want 404", code)
+	}
+	if code, _ := get(t, srv.URL+"?chrome=1"); code != http.StatusNotFound {
+		t.Errorf("chrome on empty flight: status %d, want 404", code)
+	}
+
+	rep := f.Node(0).Accuse(PredProgress, 0, 3, 2, 1, "stalled", 42)
+
+	code, body = get(t, srv.URL+"?latest=1")
+	if code != http.StatusOK {
+		t.Fatalf("latest: status %d", code)
+	}
+	var got Report
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Accused != rep.Accused || got.Predicate != rep.Predicate || got.Stage != 3 {
+		t.Errorf("latest = %+v, want %+v", got, rep)
+	}
+
+	if code, _ := get(t, srv.URL+"?seq=0"); code != http.StatusOK {
+		t.Errorf("seq=0: status %d", code)
+	}
+	if code, _ := get(t, srv.URL+"?seq=5"); code != http.StatusNotFound {
+		t.Errorf("seq=5: status %d, want 404", code)
+	}
+
+	code, body = get(t, srv.URL+"?chrome=1")
+	if code != http.StatusOK {
+		t.Fatalf("chrome: status %d", code)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil || len(tr.TraceEvents) == 0 {
+		t.Fatalf("chrome body not a trace_event document: %v\n%s", err, body)
+	}
+}

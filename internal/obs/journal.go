@@ -17,9 +17,15 @@ const DefaultJournalCap = 4096
 // structs copied by value; once full, the oldest events are
 // overwritten (Dropped counts them). Safe for concurrent use.
 type Journal struct {
-	mu   sync.Mutex
-	ring []Event
-	next uint64 // total events ever appended; next%cap is the write slot
+	mu      sync.Mutex
+	ring    []Event
+	next    uint64 // total events ever appended; next%cap is the write slot
+	dropped uint64 // events overwritten after the ring filled
+
+	// dropCtr, when non-nil, mirrors dropped into a registry counter
+	// (obs_journal_dropped_total) so scrapes see losses without holding
+	// the journal lock.
+	dropCtr *Counter
 
 	// sink, when non-nil, additionally receives every event as a
 	// structured log record. The sink path allocates (slog attrs), so
@@ -62,6 +68,8 @@ func (j *Journal) Append(ev Event) {
 		j.ring = append(j.ring, ev)
 	} else {
 		j.ring[int(ev.Seq)%cap(j.ring)] = ev
+		j.dropped++
+		j.dropCtr.Inc()
 	}
 	sink := j.sink
 	j.mu.Unlock()
@@ -124,8 +132,18 @@ func (j *Journal) Dropped() uint64 {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if int(j.next) <= cap(j.ring) {
-		return 0
+	return j.dropped
+}
+
+// BindDroppedCounter mirrors every future overwrite into c (typically
+// the obs_journal_dropped_total registry counter), seeding it with
+// overwrites that already happened.
+func (j *Journal) BindDroppedCounter(c *Counter) {
+	if j == nil {
+		return
 	}
-	return j.next - uint64(cap(j.ring))
+	j.mu.Lock()
+	j.dropCtr = c
+	c.Add(int64(j.dropped))
+	j.mu.Unlock()
 }

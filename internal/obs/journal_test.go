@@ -43,6 +43,40 @@ func TestJournalWrap(t *testing.T) {
 	}
 }
 
+func TestJournalDroppedCounter(t *testing.T) {
+	reg := NewRegistry()
+	o := New(reg, 4)
+	for i := 0; i < 10; i++ {
+		o.Journal().Append(Event{Kind: EvRoundBegin, Iter: int32(i)})
+	}
+	if got := o.Metrics().JournalDropped.Value(); got != 6 {
+		t.Fatalf("obs_journal_dropped_total = %d, want 6", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obs_journal_dropped_total 6") {
+		t.Fatalf("exposition missing dropped counter:\n%s", buf.String())
+	}
+
+	// Binding after the ring has already wrapped seeds the counter with
+	// the drops that happened before it was attached.
+	j := NewJournal(2)
+	for i := 0; i < 5; i++ {
+		j.Append(Event{Kind: EvBackoff})
+	}
+	c := NewRegistry().Counter("obs_journal_dropped_total", "test")
+	j.BindDroppedCounter(c)
+	if c.Value() != 3 {
+		t.Fatalf("late-bound counter = %d, want 3 pre-bind drops", c.Value())
+	}
+	j.Append(Event{Kind: EvBackoff})
+	if c.Value() != 4 {
+		t.Fatalf("counter after one more drop = %d, want 4", c.Value())
+	}
+}
+
 func TestJournalNilSafe(t *testing.T) {
 	var j *Journal
 	j.Append(Event{Kind: EvBackoff})

@@ -38,6 +38,10 @@ type Metrics struct {
 	// Accusations counts ERROR signals that implicate a specific peer.
 	Accusations *Counter
 
+	// JournalDropped counts journal events overwritten by the bounded
+	// ring — nonzero means /debug/journal is showing a truncated view.
+	JournalDropped *Counter
+
 	// Stages and Rounds count completed bitonic stages and
 	// compare-exchange rounds across all nodes.
 	Stages *Counter
@@ -109,6 +113,8 @@ func NewMetrics(reg *Registry) *Metrics {
 		"Element-level slow-path scans run after a digest mismatch.")
 	m.Accusations = reg.Counter("sort_accusations_total",
 		"ERROR signals implicating a specific peer.")
+	m.JournalDropped = reg.Counter("obs_journal_dropped_total",
+		"Journal events overwritten by the bounded ring.")
 	m.Stages = reg.Counter("sort_stages_total",
 		"Completed bitonic stages across all nodes (final verification included).")
 	m.Rounds = reg.Counter("sort_rounds_total",
@@ -182,6 +188,7 @@ func DefaultMetrics() *Metrics {
 func Default() *Observer {
 	defaultObsOnce.Do(func() {
 		defaultObs = &Observer{M: DefaultMetrics(), J: NewJournal(DefaultJournalCap)}
+		defaultObs.J.BindDroppedCounter(defaultObs.M.JournalDropped)
 	})
 	return defaultObs
 }
@@ -207,6 +214,11 @@ type StageView struct {
 	BlockLen int
 	// Assembled is the gathered verified sequence.
 	Assembled []int64
+	// Causal is the publishing node's most recent flight-recorder event
+	// id at publish time (zero when the run is untraced). It joins the
+	// stage-view stream — and anything downstream of it, such as
+	// cmd/tracesort output — against forensic dump chains.
+	Causal wire.EventID
 }
 
 // StageSubscriber receives stage views from the unified event stream.
@@ -235,7 +247,9 @@ type Observer struct {
 // New returns an Observer with a fresh Metrics bundle on reg and a
 // journal of the given capacity (DefaultJournalCap when <= 0).
 func New(reg *Registry, journalCap int) *Observer {
-	return &Observer{M: NewMetrics(reg), J: NewJournal(journalCap)}
+	o := &Observer{M: NewMetrics(reg), J: NewJournal(journalCap)}
+	o.J.BindDroppedCounter(o.M.JournalDropped)
+	return o
 }
 
 // Subscribe registers a stage-view subscriber.

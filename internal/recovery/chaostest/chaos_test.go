@@ -44,6 +44,7 @@ func seedMatrix(t *testing.T) []int64 {
 // failure is one scenario that violated an invariant.
 type failure struct {
 	sc  Scenario
+	r   Result
 	err error
 }
 
@@ -69,7 +70,7 @@ func runMatrix(t *testing.T, scenarios []Scenario, tr Transport) {
 				r := Run(sc, tr)
 				if err := Check(sc, r); err != nil {
 					mu.Lock()
-					failures = append(failures, failure{sc: sc, err: err})
+					failures = append(failures, failure{sc: sc, r: r, err: err})
 					mu.Unlock()
 				}
 			}
@@ -89,6 +90,7 @@ func runMatrix(t *testing.T, scenarios []Scenario, tr Transport) {
 		fmt.Fprintf(&b, "%s/%s: %v\n", tr, f.sc.Name(), f.err)
 	}
 	writeReproducers(t, tr, &b)
+	writeForensics(t, tr, failures)
 	t.Errorf("%d of %d scenarios violated invariants:\n%s", len(failures), len(scenarios), b.String())
 }
 
@@ -110,6 +112,48 @@ func writeReproducers(t *testing.T, tr Transport, b *strings.Builder) {
 		return
 	}
 	t.Logf("failure reproducers written to %s", name)
+}
+
+// writeForensics saves each failing scenario's forensic dumps (the
+// accusation chains its flight recorder captured) next to the
+// reproducer list, one JSON file per failure, so CI uploads the causal
+// evidence alongside the scenario name. Renderable with cmd/forensic.
+func writeForensics(t *testing.T, tr Transport, failures []failure) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos artifact dir: %v", err)
+		return
+	}
+	for i, f := range failures {
+		reports := f.r.Flight.Reports()
+		if len(reports) == 0 {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString("[\n")
+		for j, rep := range reports {
+			buf, err := rep.JSON()
+			if err != nil {
+				t.Logf("forensic render %s: %v", f.sc.Name(), err)
+				continue
+			}
+			if j > 0 {
+				b.WriteString(",\n")
+			}
+			b.Write(buf)
+		}
+		b.WriteString("\n]\n")
+		name := filepath.Join(dir, fmt.Sprintf("forensic-%s-%d-%d.json", tr, time.Now().UnixNano(), i))
+		if err := os.WriteFile(name, []byte(b.String()), 0o644); err != nil {
+			t.Logf("forensic artifact write: %v", err)
+			continue
+		}
+		t.Logf("forensic dump for %s written to %s", f.sc.Name(), name)
+	}
 }
 
 // TestChaosMatrixSimnet is the main randomized battery: hundreds of

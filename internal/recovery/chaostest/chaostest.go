@@ -33,6 +33,7 @@ import (
 	"repro/internal/blocksort"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/recovery"
 	"repro/internal/reliablesort"
 	"repro/internal/tcpnet"
@@ -379,6 +380,10 @@ type Result struct {
 	// Obs is the run's private observer; its recovery counters are
 	// cross-checked against the supervisor's Report by Check.
 	Obs *obs.Observer
+	// Flight is the run's causal flight recorder; its forensic dumps
+	// are written next to the failure reproducers on invariant
+	// violations.
+	Flight *forensic.Flight
 }
 
 // RecvTimeout returns the absence-detection timeout used for the
@@ -399,6 +404,7 @@ func TCPNetwork(cfg reliablesort.NetConfig) (transport.Network, error) {
 		Spares:      cfg.Spares,
 		RecvTimeout: cfg.RecvTimeout,
 		Obs:         cfg.Obs,
+		Flight:      cfg.Flight,
 	})
 }
 
@@ -409,6 +415,7 @@ func TCPNetwork(cfg reliablesort.NetConfig) (transport.Network, error) {
 func Run(sc Scenario, tr Transport) Result {
 	keys := Workload(sc)
 	o := obs.New(obs.NewRegistry(), 256)
+	flight := forensic.New(0)
 	opts := reliablesort.Options{
 		Dim:         sc.Dim,
 		RecvTimeout: RecvTimeout(tr),
@@ -419,12 +426,13 @@ func Run(sc Scenario, tr Transport) Result {
 		Seed:        sc.Seed | 1,
 		Inject:      ScenarioInjector(sc),
 		Obs:         o,
+		Flight:      flight,
 	}
 	if tr == TCP {
 		opts.NewNetwork = TCPNetwork
 	}
 	out, stats, err := reliablesort.Sort(keys, opts)
-	return Result{In: keys, Out: out, Stats: stats, Err: err, Obs: o}
+	return Result{In: keys, Out: out, Stats: stats, Err: err, Obs: o, Flight: flight}
 }
 
 // Check runs the full invariant battery against a scenario's result.

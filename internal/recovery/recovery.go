@@ -34,6 +34,7 @@ import (
 	"repro/internal/diagnose"
 	"repro/internal/hypercube"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 )
 
 // NoNode marks "no node" in quarantine fields.
@@ -121,6 +122,12 @@ type Policy struct {
 	// attempts accumulate their virtual-time cost into the wasted-vticks
 	// counter), quarantine decisions, and backoff waits.
 	Obs *obs.Observer
+	// Flight, when non-nil, receives a supervisor-level forensic dump on
+	// every quarantine decision: the Quarantine event lands on the host
+	// ring and the resulting report names the culprit. Share the Flight
+	// the attempts' transports and node options were traced with so the
+	// dump's rings hold the evidence that drove the diagnosis.
+	Flight *forensic.Flight
 }
 
 func (p Policy) withDefaults() Policy {
@@ -366,6 +373,8 @@ func Supervise(dim int, runner Runner, pol Policy) (*Report, error) {
 					att.Substituted = spare
 					rep.Quarantined = append(rep.Quarantined, culprit)
 					pol.Obs.Quarantine(culprit, attempt)
+					pol.Flight.Quarantine(culprit, attempt,
+						fmt.Sprintf("persistent accusation streak against physical node %d", culprit))
 					if spare != NoNode {
 						rep.Substitutions = append(rep.Substitutions,
 							Substitution{Suspect: culprit, Spare: spare, Attempt: attempt})

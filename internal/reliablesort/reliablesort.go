@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypercube"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/recovery"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -128,6 +129,14 @@ type Options struct {
 	// GOMAXPROCS. Worker count never changes outputs or virtual-time
 	// charges, only wall-clock time.
 	Parallelism int
+	// Flight, when non-nil, attaches causal flight recording to every
+	// attempt: the transport stamps each message with a trace trailer,
+	// per-node recorders capture sends/receives/predicate evaluations,
+	// and any accusation or supervisor quarantine produces a forensic
+	// report (serve them with Flight.Handler, or read Flight.Reports).
+	// The trailer is excluded from cost and byte accounting, so traced
+	// runs report identical virtual-time results.
+	Flight *forensic.Flight
 
 	// NewNetwork overrides the transport constructor used for each
 	// attempt; nil means internal/simnet. The returned network must
@@ -152,6 +161,9 @@ type NetConfig struct {
 	RecvTimeout time.Duration
 	// Obs receives the transport's message/byte counters (may be nil).
 	Obs *obs.Metrics
+	// Flight, when non-nil, makes the transport stamp causal trace
+	// trailers and record send/recv events per node.
+	Flight *forensic.Flight
 }
 
 // MaxAutoDim caps the automatically chosen cube dimension (64 nodes):
@@ -236,7 +248,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 	}
 
 	if !opts.AutoRecover {
-		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout}, newNet, nil, opts.Obs, opts.Parallelism)
+		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout, Flight: opts.Flight}, newNet, nil, opts.Obs, opts.Parallelism, opts.Flight)
 		stats.fromAttempt(at)
 		stats.Attempts = 1
 		if err != nil {
@@ -252,8 +264,8 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		if opts.Inject != nil {
 			nodeOpts = opts.Inject(p.Attempt, p.Dim, p.Physical)
 		}
-		cfg := NetConfig{Dim: p.Dim, Spares: len(p.Spares), RecvTimeout: timeout}
-		flat, at, hostErrs, err := runAttempt(base, cfg, newNet, nodeOpts, opts.Obs, opts.Parallelism)
+		cfg := NetConfig{Dim: p.Dim, Spares: len(p.Spares), RecvTimeout: timeout, Flight: opts.Flight}
+		flat, at, hostErrs, err := runAttempt(base, cfg, newNet, nodeOpts, opts.Obs, opts.Parallelism, opts.Flight)
 		if err == nil {
 			result = flat
 			okStats = at
@@ -269,6 +281,7 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 		Sleep:         opts.Sleep,
 		PersistStreak: 2,
 		Obs:           opts.Obs,
+		Flight:        opts.Flight,
 	})
 	if err != nil {
 		var ex *recovery.ExhaustedError
@@ -310,6 +323,7 @@ func simnetNetwork(cfg NetConfig) (transport.Network, error) {
 		Spares:      cfg.Spares,
 		RecvTimeout: cfg.RecvTimeout,
 		Obs:         cfg.Obs,
+		Flight:      cfg.Flight,
 	})
 }
 
@@ -332,7 +346,7 @@ func spareLabels(dim, count int) []int {
 // dimension, and post-verifies the output against the Theorem 1
 // oracle. It returns the full padded ascending sequence; err is nil
 // exactly when that sequence is verified.
-func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer, parallelism int) ([]int64, attemptStats, []core.HostError, error) {
+func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer, parallelism int, flight *forensic.Flight) ([]int64, attemptStats, []core.HostError, error) {
 	var at attemptStats
 	n := 1 << uint(cfg.Dim)
 	m := (len(base) + n - 1) / n
@@ -364,13 +378,14 @@ func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.N
 	if c, ok := nw.(interface{ Close() }); ok {
 		defer c.Close()
 	}
-	if o != nil || parallelism > 0 {
+	if o != nil || parallelism > 0 || flight != nil {
 		if nodeOpts == nil {
 			nodeOpts = make([]blocksort.Options, n)
 		}
 		for i := range nodeOpts {
 			nodeOpts[i].Obs = o
 			nodeOpts[i].Parallelism = parallelism
+			nodeOpts[i].Forensic = flight.Node(i)
 		}
 	}
 	oc, err := blocksort.RunFTWithOptions(nw, blocks, nodeOpts)

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/hypercube"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -148,6 +149,12 @@ type Config struct {
 	// plumbing; recording is allocation-free and does not touch virtual
 	// clocks.
 	Obs *obs.Metrics
+	// Flight, when non-nil, attaches causal tracing: every endpoint
+	// stamps outgoing messages with a trace trailer and records
+	// send/recv events in its node's flight-recorder ring. The trailer
+	// bytes are excluded from cost charging and byte metrics
+	// (wire.CostedLen), so tracing never perturbs virtual time.
+	Flight *forensic.Flight
 }
 
 // Network is one simulated multicomputer instance: the links, the host
@@ -183,6 +190,7 @@ type Network struct {
 
 	metrics Metrics
 	obsM    *obs.Metrics
+	flight  *forensic.Flight
 }
 
 // poolBufCap sizes fresh pool buffers to hold an FT-exchange frame for
@@ -242,6 +250,7 @@ func New(cfg Config) (*Network, error) {
 		faults:      make(map[[2]int][]LinkFault),
 		pool:        make(chan []byte, 4*n+16),
 		obsM:        obsM,
+		flight:      cfg.Flight,
 	}
 	for id := 0; id < n; id++ {
 		net.links[id] = make([]chan packet, topo.Dim())
@@ -318,6 +327,11 @@ type Endpoint struct {
 	// delivered message; it is recycled at the next receive, which is
 	// what bounds the validity of a zero-copy Payload.
 	pendingFree []byte
+
+	// rec is the node's flight recorder, nil when the network has no
+	// Flight attached (a nil recorder discards, so hot paths pay one
+	// pointer test).
+	rec *forensic.Recorder
 }
 
 // release recycles the buffer behind the previously delivered message.
@@ -358,7 +372,7 @@ func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
 		return nil, fmt.Errorf("simnet: node %d outside cube of %d nodes (+%d spares)",
 			id, nw.topo.Nodes(), nw.spares)
 	}
-	return &Endpoint{net: nw, id: id}, nil
+	return &Endpoint{net: nw, id: id, rec: nw.flight.Node(id)}, nil
 }
 
 // ID returns the node label.
@@ -405,17 +419,21 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	}
 	m.From = int32(e.id)
 	m.To = int32(partner)
+	if e.rec != nil {
+		m.Trace = e.rec.Send(m.Kind, m.To, m.Stage, m.Iter, int64(e.clock))
+	}
 	buf := e.net.getBuf()
 	raw, err := wire.AppendMessage(buf, m)
 	if err != nil {
 		e.net.putBuf(buf)
 		return fmt.Errorf("simnet: send: %w", err)
 	}
-	cost := e.net.cost.SendFixed + Ticks(len(raw))*e.net.cost.SendPerByte
+	costed := wire.CostedLen(len(raw))
+	cost := e.net.cost.SendFixed + Ticks(costed)*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
-	e.net.metrics.record(m.Kind, len(raw))
-	e.net.obsM.RecordMessage(m.Kind, len(raw))
+	e.net.metrics.record(m.Kind, costed)
+	e.net.obsM.RecordMessage(m.Kind, costed)
 	arrival := e.clock + e.net.cost.Latency
 
 	if e.net.faultCount.Load() == 0 {
@@ -491,7 +509,7 @@ func (e *Endpoint) acceptPacket(pkt packet) (wire.Message, error) {
 		// Waiting time is idle, charged to neither comm nor comp.
 		e.clock = pkt.arrival
 	}
-	cost := e.net.cost.RecvFixed + Ticks(len(pkt.raw))*e.net.cost.RecvPerByte
+	cost := e.net.cost.RecvFixed + Ticks(wire.CostedLen(len(pkt.raw)))*e.net.cost.RecvPerByte
 	e.clock += cost
 	e.commTicks += cost
 	m, err := wire.DecodeFrom(pkt.raw)
@@ -500,6 +518,9 @@ func (e *Endpoint) acceptPacket(pkt packet) (wire.Message, error) {
 			e.net.putBuf(pkt.raw)
 		}
 		return wire.Message{}, fmt.Errorf("simnet: node %d: garbled message: %w", e.id, err)
+	}
+	if e.rec != nil {
+		e.rec.Recv(&m, int64(e.clock))
 	}
 	if pkt.pooled {
 		e.pendingFree = pkt.raw
@@ -512,17 +533,21 @@ func (e *Endpoint) acceptPacket(pkt packet) (wire.Message, error) {
 func (e *Endpoint) SendHost(m wire.Message) error {
 	m.From = int32(e.id)
 	m.To = wire.HostID
+	if e.rec != nil {
+		m.Trace = e.rec.Send(m.Kind, m.To, m.Stage, m.Iter, int64(e.clock))
+	}
 	buf := e.net.getBuf()
 	raw, err := wire.AppendMessage(buf, m)
 	if err != nil {
 		e.net.putBuf(buf)
 		return fmt.Errorf("simnet: send host: %w", err)
 	}
-	cost := e.net.cost.SendFixed + Ticks(len(raw))*e.net.cost.SendPerByte
+	costed := wire.CostedLen(len(raw))
+	cost := e.net.cost.SendFixed + Ticks(costed)*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
-	e.net.metrics.record(m.Kind, len(raw))
-	e.net.obsM.RecordMessage(m.Kind, len(raw))
+	e.net.metrics.record(m.Kind, costed)
+	e.net.obsM.RecordMessage(m.Kind, costed)
 	// Host links bypass fault interceptors, so the buffer stays pooled.
 	select {
 	case e.net.hostIn <- packet{raw: raw, arrival: e.clock + e.net.cost.Latency, pooled: true}:
@@ -564,6 +589,7 @@ type Host struct {
 
 	recvTimer   *time.Timer
 	pendingFree []byte
+	rec         *forensic.Recorder
 }
 
 // release recycles the buffer behind the previously delivered message.
@@ -590,7 +616,7 @@ func (h *Host) disarmTimer() {
 }
 
 // Host returns the host endpoint. Call at most once per network.
-func (nw *Network) Host() transport.Host { return &Host{net: nw} }
+func (nw *Network) Host() transport.Host { return &Host{net: nw, rec: nw.flight.Host()} }
 
 // Clock returns the host's current virtual time.
 func (h *Host) Clock() Ticks { return h.clock }
@@ -625,17 +651,21 @@ func (h *Host) Send(node int, m wire.Message) error {
 	}
 	m.From = wire.HostID
 	m.To = int32(node)
+	if h.rec != nil {
+		m.Trace = h.rec.Send(m.Kind, m.To, m.Stage, m.Iter, int64(h.clock))
+	}
 	buf := h.net.getBuf()
 	raw, err := wire.AppendMessage(buf, m)
 	if err != nil {
 		h.net.putBuf(buf)
 		return fmt.Errorf("simnet: host send: %w", err)
 	}
-	cost := h.net.cost.HostFixed + Ticks(len(raw))*h.net.cost.HostPerByte
+	costed := wire.CostedLen(len(raw))
+	cost := h.net.cost.HostFixed + Ticks(costed)*h.net.cost.HostPerByte
 	h.clock += cost
 	h.commTicks += cost
-	h.net.metrics.record(m.Kind, len(raw))
-	h.net.obsM.RecordMessage(m.Kind, len(raw))
+	h.net.metrics.record(m.Kind, costed)
+	h.net.obsM.RecordMessage(m.Kind, costed)
 	select {
 	case h.net.hostOut[node] <- packet{raw: raw, arrival: h.clock + h.net.cost.Latency, pooled: true}:
 		return nil
@@ -651,7 +681,7 @@ func (h *Host) acceptPacket(pkt packet) (wire.Message, error) {
 	if pkt.arrival > h.clock {
 		h.clock = pkt.arrival
 	}
-	cost := h.net.cost.HostFixed + Ticks(len(pkt.raw))*h.net.cost.HostPerByte
+	cost := h.net.cost.HostFixed + Ticks(wire.CostedLen(len(pkt.raw)))*h.net.cost.HostPerByte
 	h.clock += cost
 	h.commTicks += cost
 	m, err := wire.DecodeFrom(pkt.raw)
@@ -660,6 +690,9 @@ func (h *Host) acceptPacket(pkt packet) (wire.Message, error) {
 			h.net.putBuf(pkt.raw)
 		}
 		return wire.Message{}, fmt.Errorf("simnet: host: garbled message: %w", err)
+	}
+	if h.rec != nil {
+		h.rec.Recv(&m, int64(h.clock))
 	}
 	if pkt.pooled {
 		h.pendingFree = pkt.raw

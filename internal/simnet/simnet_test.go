@@ -95,7 +95,7 @@ func TestVirtualClockAdvances(t *testing.T) {
 	}
 	raw, _ := wire.Encode(wire.Message{Kind: wire.KindExchange, From: 0, To: 1,
 		Payload: wire.EncodeExchange(wire.ExchangePayload{Keys: []int64{1}})})
-	wantSend := cost.SendFixed + Ticks(len(raw))*cost.SendPerByte
+	wantSend := cost.SendFixed + Ticks(wire.CostedLen(len(raw)))*cost.SendPerByte
 	if a.Clock() != wantSend {
 		t.Errorf("sender clock = %d, want %d", a.Clock(), wantSend)
 	}
@@ -107,12 +107,12 @@ func TestVirtualClockAdvances(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantRecvStart := wantSend + cost.Latency // receiver idles until arrival
-	wantRecv := wantRecvStart + cost.RecvFixed + Ticks(len(raw))*cost.RecvPerByte
+	wantRecv := wantRecvStart + cost.RecvFixed + Ticks(wire.CostedLen(len(raw)))*cost.RecvPerByte
 	if b.Clock() != wantRecv {
 		t.Errorf("receiver clock = %d, want %d", b.Clock(), wantRecv)
 	}
 	// Idle waiting is not billed as comm.
-	if b.CommTicks() != cost.RecvFixed+Ticks(len(raw))*cost.RecvPerByte {
+	if b.CommTicks() != cost.RecvFixed+Ticks(wire.CostedLen(len(raw)))*cost.RecvPerByte {
 		t.Errorf("receiver comm = %d", b.CommTicks())
 	}
 }
@@ -224,10 +224,11 @@ func TestMetricsCountTraffic(t *testing.T) {
 		t.Errorf("msg count = %d, want 3", snap.MsgsByKind[wire.KindExchange])
 	}
 	raw, _ := wire.Encode(wire.Message{Kind: wire.KindExchange, From: 0, To: 1, Payload: msg.Payload})
-	if snap.BytesByKind[wire.KindExchange] != int64(3*len(raw)) {
-		t.Errorf("byte count = %d, want %d", snap.BytesByKind[wire.KindExchange], 3*len(raw))
+	wantBytes := wire.CostedLen(len(raw))
+	if snap.BytesByKind[wire.KindExchange] != int64(3*wantBytes) {
+		t.Errorf("byte count = %d, want %d", snap.BytesByKind[wire.KindExchange], 3*wantBytes)
 	}
-	if snap.TotalMsgs() != 3 || snap.TotalBytes() != int64(3*len(raw)) {
+	if snap.TotalMsgs() != 3 || snap.TotalBytes() != int64(3*wantBytes) {
 		t.Errorf("totals = %d msgs / %d bytes", snap.TotalMsgs(), snap.TotalBytes())
 	}
 }

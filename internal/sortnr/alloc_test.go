@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/simnet"
 )
 
@@ -112,5 +113,63 @@ func TestInstrumentedExchangeStepZeroAllocs(t *testing.T) {
 	}
 	if o.Metrics().MsgsTotal[1].Value() == 0 {
 		t.Error("transport counters recorded nothing")
+	}
+}
+
+// TestTracedExchangeStepZeroAllocs is the ISSUE acceptance gate for the
+// causal tracing layer: the instrumented steady-state compare-exchange
+// with a flight recorder attached — every message stamped with a trace
+// trailer on send, linked on receive, both landing in the per-node
+// rings — must still be zero allocations per step. The rings are
+// preallocated and overwrite in place, so steady state (including after
+// wrap) allocates nothing.
+func TestTracedExchangeStepZeroAllocs(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), 512)
+	// A small ring so the measurement window runs in the wrapped
+	// (overwrite) regime, not just the fill regime.
+	flight := forensic.New(64)
+	nw, err := simnet.New(simnet.Config{Dim: 3, RecvTimeout: 5 * time.Second, Obs: o.Metrics(), Flight: flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, err := nw.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := nw.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := &runner{ep: ep0, opts: Options{Obs: o}}
+	passive := &runner{ep: ep1, opts: Options{Obs: o}}
+
+	a0, a1 := int64(7), int64(3)
+	step := func() {
+		o.RoundBegin(0, 0, 0, int64(ep0.Clock()))
+		if err := passive.sendKey(0, 0, 0, a1); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		a0, err = active.exchangeStep(a0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err = passive.recvOneKey(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.RoundEnd(0, 0, 0, int64(ep0.Clock()))
+	}
+
+	// Warm up past the ring capacity so AllocsPerRun measures the
+	// overwrite path.
+	for i := 0; i < 80; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(200, step); n != 0 {
+		t.Errorf("traced exchange step: %v allocs/op, want 0", n)
+	}
+	if flight.Node(0).Len() == 0 || flight.Node(1).Len() == 0 {
+		t.Error("flight recorder captured nothing — tracing was not active")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/hypercube"
+	"repro/internal/obs/forensic"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -29,6 +30,10 @@ type Endpoint struct {
 	// lying node's sends stay allocation-free.
 	tamper    func(m *wire.Message) *wire.Message
 	tamperBuf []byte
+
+	// rec is the node's flight recorder, nil when the network has no
+	// Flight attached.
+	rec *forensic.Recorder
 }
 
 // ID returns the node label.
@@ -77,12 +82,15 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	}
 	m.From = int32(e.id)
 	m.To = int32(partner)
+	if e.rec != nil {
+		m.Trace = e.rec.Send(m.Kind, m.To, m.Stage, m.Iter, int64(e.clock))
+	}
 	buf, err := appendFrame(e.sendBuf, m)
 	if err != nil {
 		return fmt.Errorf("tcpnet: send: %w", err)
 	}
 	e.sendBuf = buf
-	rawLen := len(buf) - frameHeader
+	rawLen := wire.CostedLen(len(buf) - frameHeader)
 	cost := e.net.cost.SendFixed + transport.Ticks(rawLen)*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
@@ -143,7 +151,7 @@ func (e *Endpoint) accept(pkt packet) (wire.Message, error) {
 	if pkt.arrival > e.clock {
 		e.clock = pkt.arrival // idle wait, unbilled
 	}
-	cost := e.net.cost.RecvFixed + transport.Ticks(len(pkt.raw))*e.net.cost.RecvPerByte
+	cost := e.net.cost.RecvFixed + transport.Ticks(wire.CostedLen(len(pkt.raw)))*e.net.cost.RecvPerByte
 	e.clock += cost
 	e.commTicks += cost
 	// Zero-copy decode: the reader goroutine allocated pkt.raw for this
@@ -152,6 +160,9 @@ func (e *Endpoint) accept(pkt packet) (wire.Message, error) {
 	if err != nil {
 		return wire.Message{}, fmt.Errorf("tcpnet: node %d: garbled message: %w", e.id, err)
 	}
+	if e.rec != nil {
+		e.rec.Recv(&m, int64(e.clock))
+	}
 	return m, nil
 }
 
@@ -159,12 +170,15 @@ func (e *Endpoint) accept(pkt packet) (wire.Message, error) {
 func (e *Endpoint) SendHost(m wire.Message) error {
 	m.From = int32(e.id)
 	m.To = wire.HostID
+	if e.rec != nil {
+		m.Trace = e.rec.Send(m.Kind, m.To, m.Stage, m.Iter, int64(e.clock))
+	}
 	buf, err := appendFrame(e.sendBuf, m)
 	if err != nil {
 		return fmt.Errorf("tcpnet: send host: %w", err)
 	}
 	e.sendBuf = buf
-	rawLen := len(buf) - frameHeader
+	rawLen := wire.CostedLen(len(buf) - frameHeader)
 	cost := e.net.cost.SendFixed + transport.Ticks(rawLen)*e.net.cost.SendPerByte
 	e.clock += cost
 	e.commTicks += cost
@@ -211,6 +225,7 @@ type Host struct {
 
 	// sendBuf stages frame header + message, reused across sends.
 	sendBuf []byte
+	rec     *forensic.Recorder
 }
 
 // Clock returns the host's current virtual time.
@@ -249,12 +264,15 @@ func (h *Host) Send(node int, m wire.Message) error {
 	}
 	m.From = wire.HostID
 	m.To = int32(node)
+	if h.rec != nil {
+		m.Trace = h.rec.Send(m.Kind, m.To, m.Stage, m.Iter, int64(h.clock))
+	}
 	buf, err := appendFrame(h.sendBuf, m)
 	if err != nil {
 		return fmt.Errorf("tcpnet: host send: %w", err)
 	}
 	h.sendBuf = buf
-	rawLen := len(buf) - frameHeader
+	rawLen := wire.CostedLen(len(buf) - frameHeader)
 	cost := h.net.cost.HostFixed + transport.Ticks(rawLen)*h.net.cost.HostPerByte
 	h.clock += cost
 	h.commTicks += cost
@@ -280,12 +298,15 @@ func (h *Host) accept(pkt packet) (wire.Message, error) {
 	if pkt.arrival > h.clock {
 		h.clock = pkt.arrival
 	}
-	cost := h.net.cost.HostFixed + transport.Ticks(len(pkt.raw))*h.net.cost.HostPerByte
+	cost := h.net.cost.HostFixed + transport.Ticks(wire.CostedLen(len(pkt.raw)))*h.net.cost.HostPerByte
 	h.clock += cost
 	h.commTicks += cost
 	m, err := wire.DecodeFrom(pkt.raw)
 	if err != nil {
 		return wire.Message{}, fmt.Errorf("tcpnet: host: garbled message: %w", err)
+	}
+	if h.rec != nil {
+		h.rec.Recv(&m, int64(h.clock))
 	}
 	return m, nil
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/hypercube"
 	"repro/internal/obs"
+	"repro/internal/obs/forensic"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -85,6 +86,11 @@ type Config struct {
 	// Obs receives per-kind message and byte counters in addition to
 	// the network's own Metrics. Nil means obs.DefaultMetrics().
 	Obs *obs.Metrics
+	// Flight, when non-nil, attaches causal tracing exactly as in
+	// simnet: trace trailers on every frame, send/recv events in
+	// per-node flight-recorder rings, trailer bytes excluded from cost
+	// and byte metrics (wire.CostedLen).
+	Flight *forensic.Flight
 }
 
 // packet is a received frame with its virtual arrival time.
@@ -117,9 +123,10 @@ type Network struct {
 	hostInbox     chan packet
 	nodeHostInbox []chan packet
 
-	msgs  [8]atomic.Int64
-	bytes [8]atomic.Int64
-	obsM  *obs.Metrics
+	msgs   [8]atomic.Int64
+	bytes  [8]atomic.Int64
+	obsM   *obs.Metrics
+	flight *forensic.Flight
 
 	tamper []func(m *wire.Message) *wire.Message
 
@@ -159,6 +166,7 @@ func New(cfg Config) (nw *Network, err error) {
 		recvTimeout:   timeout,
 		spares:        spares,
 		obsM:          obsM,
+		flight:        cfg.Flight,
 		tamper:        cfg.Tamper,
 		nodeConns:     make([][]net.Conn, n),
 		nodeHostWrite: make([]net.Conn, n+spares),
@@ -378,7 +386,7 @@ func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
 		return nil, fmt.Errorf("tcpnet: node %d outside cube of %d nodes (+%d spares)",
 			id, nw.topo.Nodes(), nw.spares)
 	}
-	e := &Endpoint{net: nw, id: id}
+	e := &Endpoint{net: nw, id: id, rec: nw.flight.Node(id)}
 	if id < len(nw.tamper) {
 		e.tamper = nw.tamper[id]
 	}
@@ -386,4 +394,4 @@ func (nw *Network) Endpoint(id int) (transport.Endpoint, error) {
 }
 
 // Host returns the host endpoint. Call at most once per network.
-func (nw *Network) Host() transport.Host { return &Host{net: nw} }
+func (nw *Network) Host() transport.Host { return &Host{net: nw, rec: nw.flight.Host()} }

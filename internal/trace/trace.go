@@ -19,13 +19,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/hypercube"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
-// Recorder accumulates TraceEvents from concurrently running nodes.
+// Event is one recorded stage view: the legacy TraceEvent fields plus
+// the causal flight-recorder event id the publishing node held at
+// publish time. Causal is the join key against forensic dump chains
+// (zero for untraced runs and events fed through the deprecated Hook).
+type Event struct {
+	core.TraceEvent
+	Causal wire.EventID
+}
+
+// Recorder accumulates stage events from concurrently running nodes.
 // The zero value is ready to use.
 type Recorder struct {
 	mu     sync.Mutex
-	events []core.TraceEvent
+	events []Event
 }
 
 // Recorder subscribes to the unified stage-view stream.
@@ -33,28 +43,35 @@ var _ obs.StageSubscriber = (*Recorder)(nil)
 
 // Hook returns the function to install as core.Options.Trace. The same
 // hook may be shared by every node.
+//
+// Deprecated: subscribe the Recorder through obs.Observer.Subscribe
+// instead; the stage-view stream carries the causal event id the hook
+// path cannot.
 func (r *Recorder) Hook() func(core.TraceEvent) {
-	return func(ev core.TraceEvent) { r.record(ev) }
+	return func(ev core.TraceEvent) { r.record(Event{TraceEvent: ev}) }
 }
 
 // OnStageView implements obs.StageSubscriber: it adapts the unified
 // event stream's stage views into trace events, so an observer-wired
 // run needs no separate Trace hook.
 func (r *Recorder) OnStageView(v obs.StageView) {
-	r.record(core.TraceEvent{
-		Node:  v.Node,
-		Stage: v.Stage,
-		Final: v.Final,
-		Subcube: hypercube.Subcube{
-			Dim:   bits.Len(uint(v.SubcubeSize)) - 1,
-			Start: v.SubcubeStart,
-			End:   v.SubcubeStart + v.SubcubeSize - 1,
+	r.record(Event{
+		TraceEvent: core.TraceEvent{
+			Node:  v.Node,
+			Stage: v.Stage,
+			Final: v.Final,
+			Subcube: hypercube.Subcube{
+				Dim:   bits.Len(uint(v.SubcubeSize)) - 1,
+				Start: v.SubcubeStart,
+				End:   v.SubcubeStart + v.SubcubeSize - 1,
+			},
+			Assembled: v.Assembled,
 		},
-		Assembled: v.Assembled,
+		Causal: v.Causal,
 	})
 }
 
-func (r *Recorder) record(ev core.TraceEvent) {
+func (r *Recorder) record(ev Event) {
 	// Copy the assembled slice: the producer reuses its scratch.
 	cp := ev
 	cp.Assembled = append([]int64{}, ev.Assembled...)
@@ -63,11 +80,25 @@ func (r *Recorder) record(ev core.TraceEvent) {
 	r.mu.Unlock()
 }
 
-// Events returns a copy of all recorded events in arrival order.
+// Events returns a copy of all recorded events in arrival order,
+// stripped to the legacy TraceEvent shape. Use CausalEvents for the
+// forensic join key.
 func (r *Recorder) Events() []core.TraceEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]core.TraceEvent{}, r.events...)
+	out := make([]core.TraceEvent, len(r.events))
+	for i, ev := range r.events {
+		out[i] = ev.TraceEvent
+	}
+	return out
+}
+
+// CausalEvents returns a copy of all recorded events in arrival order,
+// including their causal flight-recorder ids.
+func (r *Recorder) CausalEvents() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event{}, r.events...)
 }
 
 // ByNode returns node id's events sorted by stage. The recording is
@@ -78,7 +109,7 @@ func (r *Recorder) ByNode(id int) []core.TraceEvent {
 	var out []core.TraceEvent
 	for _, ev := range r.events {
 		if ev.Node == id {
-			out = append(out, ev)
+			out = append(out, ev.TraceEvent)
 		}
 	}
 	r.mu.Unlock()

@@ -1,0 +1,88 @@
+package wire
+
+import "encoding/binary"
+
+// Causal trace context. Every encoded message carries a fixed 16-byte
+// trailer after its payload identifying the send event that produced
+// it (origin node + per-node sequence) and the sender's causally
+// preceding flight-recorder event. The trailer is part of the frame
+// but NOT part of the protocol: the cost model and byte metrics charge
+// CostedLen bytes, so enabling tracing never perturbs virtual time,
+// and the constraint predicates never read it. It exists purely so the
+// forensic layer can reconstruct happens-before chains after an
+// accusation.
+
+// EventID names one flight-recorder record globally: the owning node
+// label plus two in the top 16 bits (so the host's -1 and the zero
+// "no event" value stay distinct from node 0) and the node-local
+// sequence number in the low 48 bits. The zero EventID means "none".
+type EventID uint64
+
+// MakeEventID packs a node label and a node-local sequence number.
+func MakeEventID(node int32, seq uint64) EventID {
+	return EventID(uint64(uint16(node+2))<<48 | seq&(1<<48-1))
+}
+
+// Node returns the node label the event belongs to (HostID for host
+// events).
+func (id EventID) Node() int32 { return int32(uint16(id>>48)) - 2 }
+
+// Seq returns the node-local sequence number of the event.
+func (id EventID) Seq() uint64 { return uint64(id) & (1<<48 - 1) }
+
+// TraceContext is the causal trailer stamped on every message by the
+// sending transport. Origin and Seq name the send event itself;
+// Parent is the sender's previous flight-recorder event, letting a
+// receiver (or a post-mortem) walk the sender's causal history.
+// The zero value means "untraced" and is what untraced transports
+// stamp.
+type TraceContext struct {
+	Origin int32
+	Seq    uint32
+	Parent EventID
+}
+
+// TraceWireLen is the encoded size of the trace trailer:
+// origin(4) + seq(4) + parent(8).
+const TraceWireLen = 4 + 4 + 8
+
+// ID returns the EventID of the send event this context names, or 0
+// for the zero (untraced) context.
+func (t TraceContext) ID() EventID {
+	if t == (TraceContext{}) {
+		return 0
+	}
+	return MakeEventID(t.Origin, uint64(t.Seq))
+}
+
+// appendTrace appends the 16-byte trailer encoding of t to buf.
+func appendTrace(buf []byte, t TraceContext) []byte {
+	off := len(buf)
+	buf = extend(buf, TraceWireLen)
+	b := buf[off:]
+	binary.LittleEndian.PutUint32(b[0:], uint32(t.Origin))
+	binary.LittleEndian.PutUint32(b[4:], t.Seq)
+	binary.LittleEndian.PutUint64(b[8:], uint64(t.Parent))
+	return buf
+}
+
+// decodeTrace parses a 16-byte trailer; the caller has bounds-checked.
+func decodeTrace(b []byte) TraceContext {
+	return TraceContext{
+		Origin: int32(binary.LittleEndian.Uint32(b[0:])),
+		Seq:    binary.LittleEndian.Uint32(b[4:]),
+		Parent: EventID(binary.LittleEndian.Uint64(b[8:])),
+	}
+}
+
+// CostedLen returns the byte length the virtual cost model and the
+// byte-count metrics charge for an encoded frame of n bytes: the
+// trace trailer rides for free, so the virtual-time series of a run
+// are bit-identical with and without forensics attached. Frames
+// shorter than a trailer (fault-truncated buffers) charge as-is.
+func CostedLen(n int) int {
+	if n < TraceWireLen {
+		return n
+	}
+	return n - TraceWireLen
+}

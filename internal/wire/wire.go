@@ -79,6 +79,10 @@ type Message struct {
 	Stage   int32
 	Iter    int32
 	Payload []byte
+	// Trace is the causal trailer stamped by the sending transport
+	// (zero when tracing is off). It is excluded from cost charging
+	// and never consulted by the predicates — see trace.go.
+	Trace TraceContext
 }
 
 // HostID is the pseudo-node label of the host processor.
@@ -121,7 +125,7 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	binary.LittleEndian.PutUint32(b[13:], uint32(m.Iter))
 	binary.LittleEndian.PutUint32(b[17:], uint32(len(m.Payload)))
 	copy(b[headerLen:], m.Payload)
-	return buf, nil
+	return appendTrace(buf, m.Trace), nil
 }
 
 // Decode parses a message from buf. Trailing bytes after the declared
@@ -161,11 +165,12 @@ func DecodeFrom(buf []byte) (Message, error) {
 	if n > MaxPayload {
 		return Message{}, fmt.Errorf("wire: decode: payload length %d exceeds max %d", n, MaxPayload)
 	}
-	if len(buf) != headerLen+int(n) {
+	if len(buf) != headerLen+int(n)+TraceWireLen {
 		return Message{}, fmt.Errorf("wire: decode: buffer %d bytes, header declares %d: %w",
-			len(buf), headerLen+int(n), ErrTruncated)
+			len(buf), headerLen+int(n)+TraceWireLen, ErrTruncated)
 	}
-	m.Payload = buf[headerLen:]
+	m.Payload = buf[headerLen : headerLen+int(n)]
+	m.Trace = decodeTrace(buf[headerLen+int(n):])
 	return m, nil
 }
 
@@ -177,8 +182,8 @@ func extend(buf []byte, n int) []byte {
 }
 
 // EncodedSize returns the number of bytes Encode will produce for a
-// message with the given payload length.
-func EncodedSize(payloadLen int) int { return headerLen + payloadLen }
+// message with the given payload length, trace trailer included.
+func EncodedSize(payloadLen int) int { return headerLen + payloadLen + TraceWireLen }
 
 // --- payload building blocks -------------------------------------------
 
