@@ -83,6 +83,12 @@ func RunWithOptions(nw transport.Network, keys []int64, opts []Options) (*Outcom
 	return oc, nil
 }
 
+// DrainHostErrors empties the host mailbox of ERROR signals after the
+// nodes have terminated. Exported for harnesses that run node programs
+// directly (the recovery supervisor, the interleaving explorer) yet
+// still need the standard evidence decode.
+func DrainHostErrors(nw transport.Network) []HostError { return drainHostErrors(nw) }
+
 // drainHostErrors empties the host mailbox of ERROR signals after the
 // nodes have terminated.
 func drainHostErrors(nw transport.Network) []HostError {

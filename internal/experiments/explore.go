@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/obs"
+)
+
+// ExploreRow is one dimension's schedule-space exploration tally (E9):
+// how many interleavings the bounded model checker executed, how many
+// decision subtrees canonical state hashing pruned, and the wall-clock
+// cost of exhausting the single-fault sweep.
+type ExploreRow struct {
+	// Dim is the explored cube dimension.
+	Dim int
+	// Cases is the single-fault menu size (fault.SingleFaultCases).
+	Cases int
+	// Branches is the number of complete schedules executed.
+	Branches int
+	// Pruned counts decision points cut by canonical state hashing.
+	Pruned int
+	// Decisions is the total consulted scheduling decisions.
+	Decisions int
+	// MaxDepth is the deepest consulted-decision sequence seen.
+	MaxDepth int
+	// Violations counts invariant counterexamples — any nonzero value
+	// is a Theorem 3 schedule-dependence escape.
+	Violations int
+	// Wall is the sweep's wall-clock duration. Unlike every other
+	// experiment in this package, the explorer's cost is measured in
+	// real time, not vticks: it re-executes the protocol once per
+	// branch, so its cost is harness time, not modeled network time.
+	Wall time.Duration
+}
+
+// MeasureExplore exhausts the single-fault schedule sweep for each
+// dimension and returns one row per dimension. A row with Violations
+// != 0 is a correctness escape; callers (cmd/explore, CI) must treat
+// it as a failure.
+func MeasureExplore(dims []int, m *obs.Metrics) ([]ExploreRow, error) {
+	rows := make([]ExploreRow, 0, len(dims))
+	for _, dim := range dims {
+		start := time.Now()
+		res, err := explore.Run(explore.Config{Dim: dim, Obs: m})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: explore dim %d: %w", dim, err)
+		}
+		rows = append(rows, ExploreRow{
+			Dim:        dim,
+			Cases:      len(res.Cases),
+			Branches:   res.Branches,
+			Pruned:     res.Pruned,
+			Decisions:  res.Decisions,
+			MaxDepth:   res.MaxDepth,
+			Violations: len(res.Violations),
+			Wall:       time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// RenderExplore writes the E9 table.
+func RenderExplore(w io.Writer, rows []ExploreRow) {
+	fmt.Fprintf(w, "%-4s %6s %9s %7s %10s %9s %11s %10s\n",
+		"dim", "cases", "branches", "pruned", "decisions", "maxdepth", "violations", "wall")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d %6d %9d %7d %10d %9d %11d %10s\n",
+			r.Dim, r.Cases, r.Branches, r.Pruned, r.Decisions, r.MaxDepth, r.Violations,
+			r.Wall.Round(time.Millisecond))
+	}
+}

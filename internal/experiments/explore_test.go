@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMeasureExploreDim1 exhausts the dim-1 sweep: every case, every
+// schedule, zero violations (E9's correctness half; the dim-2 sweep
+// runs in cmd/explore and CI).
+func TestMeasureExploreDim1(t *testing.T) {
+	rows, err := MeasureExplore([]int{1}, obs.NewMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows for 1 dim", len(rows))
+	}
+	r := rows[0]
+	if r.Violations != 0 {
+		t.Fatalf("dim 1 sweep found %d violations", r.Violations)
+	}
+	if r.Branches < r.Cases {
+		t.Fatalf("%d branches < %d cases", r.Branches, r.Cases)
+	}
+	var b strings.Builder
+	RenderExplore(&b, rows)
+	if !strings.Contains(b.String(), "branches") {
+		t.Fatalf("render missing header:\n%s", b.String())
+	}
+}

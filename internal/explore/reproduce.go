@@ -1,0 +1,88 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/obs/forensic"
+	"repro/internal/simnet"
+)
+
+// Reproducer is a self-contained, JSON-serializable counterexample: the
+// cube geometry, the fault placement, and the shrunk schedule. Anyone
+// holding the artifact replays the exact failing execution —
+// bit-identical virtual-tick series, identical forensic dump — via
+// Replay (or the chaostest bridge, chaostest.ReplayCounterexample).
+type Reproducer struct {
+	// Dim is the cube dimension; the workload is Workload(Dim).
+	Dim int `json:"dim"`
+	// Case is the fault placement (fault.Case serializes directly: the
+	// pointer specs carry only exported scalar fields).
+	Case fault.Case `json:"case"`
+	// WeakenChecks replays with every node's assertions disabled (the
+	// test-only hook the counterexample was found under, if any).
+	WeakenChecks bool `json:"weaken_checks,omitempty"`
+	// Invariant is the assertion the schedule breaks.
+	Invariant string `json:"invariant"`
+	// Schedule is the shrunk directive list for simnet.NewReplay.
+	Schedule []simnet.Action `json:"schedule"`
+}
+
+// Reproducer packages the violation for a dim-cube sweep.
+func (v *Violation) Reproducer(dim int, weakened bool) Reproducer {
+	return Reproducer{
+		Dim:          dim,
+		Case:         v.Placement,
+		WeakenChecks: weakened,
+		Invariant:    v.Invariant,
+		Schedule:     v.Schedule,
+	}
+}
+
+// JSON renders the reproducer as indented JSON.
+func (r Reproducer) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// ParseReproducer decodes a reproducer artifact.
+func ParseReproducer(data []byte) (Reproducer, error) {
+	var r Reproducer
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Reproducer{}, fmt.Errorf("explore: reproducer: %w", err)
+	}
+	return r, nil
+}
+
+// Record executes one controlled branch of a case (under any
+// controlled scheduler — enumerating, random, replay) and returns the
+// recorded schedule alongside the branch's diagnosis and forensic
+// dump. The schedule feeds a Reproducer: replaying it through
+// chaostest.ReplayCounterexample must reproduce the same diagnosis.
+func Record(cfg Config, c fault.Case, sched simnet.Scheduler) ([]simnet.Action, Diagnosis, *forensic.Report, error) {
+	x, err := newExplorer(cfg)
+	if err != nil {
+		return nil, Diagnosis{}, nil, err
+	}
+	br, err := x.runOnce(c, sched)
+	if err != nil {
+		return nil, Diagnosis{}, nil, err
+	}
+	return simnet.PickedActions(br.steps), br.diag, br.dump, nil
+}
+
+// Replay re-executes a reproducer once under schedule replay and
+// returns the branch's diagnosis, the invariant it broke ("" when the
+// replay unexpectedly passes), and the forensic dump (nil when the run
+// raised no accusation).
+func Replay(r Reproducer) (Diagnosis, string, *forensic.Report, error) {
+	x, err := newExplorer(Config{Dim: r.Dim, WeakenChecks: r.WeakenChecks})
+	if err != nil {
+		return Diagnosis{}, "", nil, err
+	}
+	c := r.Case
+	br, err := x.runOnce(c, simnet.NewReplay(append([]simnet.Action(nil), r.Schedule...)))
+	if err != nil {
+		return Diagnosis{}, "", nil, err
+	}
+	inv, _ := x.checkInvariant(c, br)
+	return br.diag, inv, br.dump, nil
+}

@@ -1,0 +1,56 @@
+package explore
+
+import "repro/internal/simnet"
+
+// ShrinkSchedule reduces a failing directive list to a 1-minimal one:
+// the returned schedule still satisfies fails, and removing any single
+// remaining directive makes fails false. The input is never mutated.
+//
+// fails must be a pure predicate of its argument (typically "replaying
+// this schedule breaks the same invariant"). Replay semantics make
+// arbitrary sublists legal schedules — a dropped directive degrades
+// exactly one decision to the canonical choice instead of
+// desynchronizing the tail (simnet.ReplaySched) — so ddmin-style
+// chunk removal is sound here.
+//
+// The reduction runs a greedy delta-debugging loop: first coarse
+// chunk removal (halving granularity, classic ddmin) to shed large
+// passing regions cheaply, then single-directive passes until a full
+// pass removes nothing. If fails rejects even the original input, the
+// input is returned unchanged (nothing to preserve).
+func ShrinkSchedule(directives []simnet.Action, fails func([]simnet.Action) bool) []simnet.Action {
+	cur := append([]simnet.Action(nil), directives...)
+	if !fails(cur) {
+		return cur
+	}
+	// Coarse phase: try dropping contiguous chunks, halving the chunk
+	// size as removals stop helping.
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]simnet.Action, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand // chunk was irrelevant; keep position
+			} else {
+				start += chunk
+			}
+		}
+	}
+	// Fine phase: single removals to a fixpoint. The coarse phase is
+	// an accelerator only — 1-minimality is established here.
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]simnet.Action, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				progress = true
+				i--
+			}
+		}
+	}
+	return cur
+}

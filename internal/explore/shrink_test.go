@@ -1,0 +1,110 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// mkActions builds n distinct synthetic directives.
+func mkActions(n int) []simnet.Action {
+	out := make([]simnet.Action, n)
+	for i := range out {
+		out[i] = simnet.Action{
+			Kind:  simnet.ActDeliver,
+			Queue: simnet.QueueID{Kind: simnet.QHostIn, Node: -1},
+			From:  i % 4,
+			Seq:   uint64(i),
+		}
+	}
+	return out
+}
+
+// contains reports whether every target appears in cand (as an
+// identity-matching action), in order — the subsequence predicate the
+// synthetic failure models: a violation that needs a specific set of
+// delivery steps to manifest, tolerant of unrelated steps between
+// them, exactly how ReplaySched treats dropped directives.
+func containsSubseq(cand, targets []simnet.Action) bool {
+	j := 0
+	for _, a := range cand {
+		if j < len(targets) && a.Same(targets[j]) {
+			j++
+		}
+	}
+	return j == len(targets)
+}
+
+// TestShrinkToTargetSubsequence checks the shrinker finds exactly the
+// minimal failing core when the predicate is a target subsequence.
+func TestShrinkToTargetSubsequence(t *testing.T) {
+	all := mkActions(12)
+	targets := []simnet.Action{all[2], all[5], all[11]}
+	fails := func(cand []simnet.Action) bool { return containsSubseq(cand, targets) }
+	got := ShrinkSchedule(all, fails)
+	if len(got) != len(targets) {
+		t.Fatalf("shrunk to %d directives, minimal core has %d", len(got), len(targets))
+	}
+	for i := range targets {
+		if !got[i].Same(targets[i]) {
+			t.Fatalf("shrunk[%d] = %v, want %v", i, got[i], targets[i])
+		}
+	}
+}
+
+// TestShrinkPassingInputUnchanged: a schedule that does not fail is
+// returned unchanged (there is nothing to preserve).
+func TestShrinkPassingInputUnchanged(t *testing.T) {
+	all := mkActions(5)
+	got := ShrinkSchedule(all, func([]simnet.Action) bool { return false })
+	if len(got) != len(all) {
+		t.Fatalf("passing input reshaped: %d directives, want %d", len(got), len(all))
+	}
+}
+
+// FuzzShrinkSchedule drives the shrinker with fuzz-derived schedules
+// and target-subsequence predicates, asserting the two contract
+// properties on every input:
+//
+//   - the shrunk schedule still fails the same predicate;
+//   - it is 1-minimal — removing any single remaining directive makes
+//     the predicate pass.
+func FuzzShrinkSchedule(f *testing.F) {
+	f.Add(uint16(0b101), uint8(8))
+	f.Add(uint16(0), uint8(3))
+	f.Add(uint16(0xFFFF), uint8(16))
+	f.Add(uint16(0b1100110), uint8(12))
+	f.Fuzz(func(t *testing.T, mask uint16, n uint8) {
+		size := int(n%16) + 1
+		all := mkActions(size)
+		var targets []simnet.Action
+		for i := 0; i < size; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				targets = append(targets, all[i])
+			}
+		}
+		calls := 0
+		fails := func(cand []simnet.Action) bool {
+			calls++
+			return containsSubseq(cand, targets)
+		}
+		got := ShrinkSchedule(all, fails)
+		if !fails(got) {
+			t.Fatalf("shrunk schedule no longer fails (mask %b, size %d)", mask, size)
+		}
+		for i := range got {
+			cand := append(append([]simnet.Action(nil), got[:i]...), got[i+1:]...)
+			if fails(cand) {
+				t.Fatalf("not 1-minimal: dropping directive %d of %d still fails (mask %b)", i, len(got), mask)
+			}
+		}
+		// For the subsequence predicate the 1-minimal core is unique:
+		// exactly the targets.
+		if len(got) != len(targets) {
+			t.Fatalf("shrunk to %d, unique minimal core has %d (mask %b)", len(got), len(targets), mask)
+		}
+		if calls > 4*size*size+64 {
+			t.Fatalf("shrinker used %d predicate calls for %d directives", calls, size)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Case is one cell of the interleaving explorer's single-fault sweep:
+// at most one faulty component, drawn from the full four-way Class
+// taxonomy (message, absence, comparison, memory). The zero placement
+// (no fault at all) is a Case too — the explorer asserts the fault-free
+// protocol sorts under every schedule.
+type Case struct {
+	// Name uniquely identifies the case within a sweep, e.g.
+	// "msg/key-lie/n1/s2" or "mem/mem-stuck/n3".
+	Name string
+	// Class is the adversary class, 0 for the fault-free case.
+	Class Class
+
+	// At most one of the following is non-zero.
+
+	// Msg is a Byzantine message fault (or Silence, observed as
+	// absence).
+	Msg *Spec
+	// Cmp is a lying-comparator fault.
+	Cmp *CmpSpec
+	// Mem is a resident-memory corruption fault.
+	Mem *MemSpec
+	// Crashed is the label of a node crashed outright (fail-stop from
+	// time zero, modelled as a nil program), -1 when none.
+	Crashed int
+}
+
+// Faulty returns the faulty node's label, -1 for the fault-free case.
+func (c Case) Faulty() int {
+	switch {
+	case c.Msg != nil:
+		return c.Msg.Node
+	case c.Cmp != nil:
+		return c.Cmp.Node
+	case c.Mem != nil:
+		return c.Mem.Node
+	default:
+		return c.Crashed
+	}
+}
+
+// Options builds the per-node S_FT options implementing the case for an
+// n-node cube. Crash cases are expressed by the runner (a nil program),
+// not by options.
+func (c Case) Options(n int) []core.Options {
+	opts := make([]core.Options, n)
+	switch {
+	case c.Msg != nil:
+		opts[c.Msg.Node] = core.Options{SkipChecks: true, Tamper: c.Msg.Tamper()}
+	case c.Cmp != nil:
+		opts[c.Cmp.Node] = core.Options{SkipChecks: true, Compare: c.Cmp.Comparator()}
+	case c.Mem != nil:
+		opts[c.Mem.Node] = core.Options{SkipChecks: true, CorruptMemory: c.Mem.Corruptor()}
+	}
+	return opts
+}
+
+// SingleFaultCases enumerates the explorer's sweep menu for a dim-cube:
+// the fault-free case, every message strategy at every node for every
+// activation stage in [1, dim], a crash of every node, and every
+// comparison and memory mode at every node. Deterministic order, fixed
+// seeds — the menu itself must be reproducible.
+func SingleFaultCases(dim int) []Case {
+	n := 1 << uint(dim)
+	const (
+		lieValue   = 1 << 20
+		caseSeed   = 42
+		stuckValue = -7
+	)
+	cases := []Case{{Name: "none", Crashed: -1}}
+	for _, st := range AllStrategies() {
+		for id := 0; id < n; id++ {
+			for stage := 1; stage <= dim; stage++ {
+				s := &Spec{Node: id, Strategy: st, ActivateStage: stage, LieValue: lieValue}
+				cases = append(cases, Case{
+					Name:    fmt.Sprintf("msg/%v/n%d/s%d", st, id, stage),
+					Class:   st.Class(),
+					Msg:     s,
+					Crashed: -1,
+				})
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("crash/n%d", id),
+			Class:   ClassAbsence,
+			Crashed: id,
+		})
+	}
+	for _, m := range AllCmpModes() {
+		for id := 0; id < n; id++ {
+			s := &CmpSpec{Node: id, Mode: m, Rate: 1, Seed: caseSeed, ActivateStage: 1}
+			cases = append(cases, Case{
+				Name:    fmt.Sprintf("cmp/%v/n%d", m, id),
+				Class:   ClassComparison,
+				Cmp:     s,
+				Crashed: -1,
+			})
+		}
+	}
+	for _, m := range AllMemModes() {
+		for id := 0; id < n; id++ {
+			s := &MemSpec{Node: id, Mode: m, Rate: 1, Seed: caseSeed, ActivateStage: 1, StuckValue: stuckValue}
+			cases = append(cases, Case{
+				Name:    fmt.Sprintf("mem/%v/n%d", m, id),
+				Class:   ClassMemory,
+				Mem:     s,
+				Crashed: -1,
+			})
+		}
+	}
+	return cases
+}

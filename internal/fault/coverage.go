@@ -75,6 +75,14 @@ type Result struct {
 	Forensic *forensic.Report
 }
 
+// EarliestEvidence picks the canonical detection evidence from a drained
+// host mailbox: the earliest by (stage, iter, node). Every consumer of
+// host evidence keys off this order rather than arrival order, which is
+// what lets the explorer fold host-drain histories commutatively.
+func EarliestEvidence(errs []core.HostError) (core.HostError, bool) {
+	return earliestHostError(errs)
+}
+
 // earliestHostError picks the detection evidence deterministically:
 // host-mailbox drain order races between node goroutines, so the
 // matrix keys off the earliest (stage, iter, node) evidence instead of

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Program is the code a node processor executes. It runs in its own
@@ -149,6 +150,23 @@ func RunPer(nw transport.Network, progs []Program, hostProg HostProgram) (*Resul
 	}
 	host := nw.Host()
 
+	// Controlled-scheduler networks need the full worker census before
+	// any worker runs: delivery decisions wait for every live worker to
+	// block, so a late-declared worker would let a decision fire on an
+	// incomplete picture (and an undeclared crashed node would stall
+	// quiescence forever).
+	wc, _ := nw.(transport.WorkerControl)
+	if wc != nil {
+		for id := 0; id < n; id++ {
+			if progs[id] != nil {
+				wc.WorkerStart(id)
+			}
+		}
+		if hostProg != nil {
+			wc.WorkerStart(int(wire.HostID))
+		}
+	}
+
 	res := &Result{Nodes: make([]NodeOutcome, n)}
 	var wg sync.WaitGroup
 	for id := 0; id < n; id++ {
@@ -158,6 +176,9 @@ func RunPer(nw transport.Network, progs []Program, hostProg HostProgram) (*Resul
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			if wc != nil {
+				defer wc.WorkerDone(id)
+			}
 			res.Nodes[id].Err = runGuarded(id, progs[id], eps[id])
 		}(id)
 	}
@@ -165,6 +186,9 @@ func RunPer(nw transport.Network, progs []Program, hostProg HostProgram) (*Resul
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if wc != nil {
+				defer wc.WorkerDone(int(wire.HostID))
+			}
 			res.HostErr = runHostGuarded(hostProg, host)
 		}()
 	}

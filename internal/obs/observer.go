@@ -81,6 +81,15 @@ type Metrics struct {
 	FaultRuns     [NumFaultClasses]*Counter
 	FaultDetected [NumFaultClasses]*Counter
 	FaultSilent   [NumFaultClasses]*Counter
+
+	// ExploreBranches..ExploreCounterexamples are the interleaving
+	// explorer's telemetry: complete schedule branches executed,
+	// branches pruned by canonical state-hash match, scheduling
+	// decisions consulted, and invariant-violating branches found.
+	ExploreBranches        *Counter
+	ExplorePruned          *Counter
+	ExploreDecisions       *Counter
+	ExploreCounterexamples *Counter
 }
 
 // NewMetrics registers the standard instrument set on reg and returns
@@ -153,6 +162,14 @@ func NewMetrics(reg *Registry) *Metrics {
 			"Fault-injection runs that finished undetected with a wrong output, by adversary class.",
 			Label{"class", c.String()})
 	}
+	m.ExploreBranches = reg.Counter("explore_branches_total",
+		"Complete schedule branches executed by the interleaving explorer.")
+	m.ExplorePruned = reg.Counter("explore_pruned_total",
+		"Branch prefixes pruned by canonical state-hash match.")
+	m.ExploreDecisions = reg.Counter("explore_decisions_total",
+		"Scheduling decisions consulted across explored branches.")
+	m.ExploreCounterexamples = reg.Counter("explore_counterexamples_total",
+		"Invariant-violating branches found by the explorer.")
 	return m
 }
 

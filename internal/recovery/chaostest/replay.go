@@ -1,0 +1,60 @@
+package chaostest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/explore"
+	"repro/internal/obs/forensic"
+)
+
+// ReplayCounterexample replays an interleaving-explorer reproducer
+// (internal/explore) through the chaostest harness's artifact
+// discipline: the recorded schedule is re-executed deterministically,
+// the replay's diagnosis is returned for cross-checking against the
+// explorer's own (same verdict, same accused node, same
+// first-divergent (stage, iter)), and a replay that fails to break the
+// invariant the artifact records is itself an error — a reproducer
+// that does not reproduce is a determinism bug, the one thing a
+// counterexample artifact must never be.
+func ReplayCounterexample(r explore.Reproducer) (explore.Diagnosis, *forensic.Report, error) {
+	diag, inv, dump, err := explore.Replay(r)
+	if err != nil {
+		return explore.Diagnosis{}, nil, fmt.Errorf("chaostest: replay: %w", err)
+	}
+	if inv != r.Invariant {
+		return diag, dump, fmt.Errorf("chaostest: replay broke %q, artifact records %q", inv, r.Invariant)
+	}
+	return diag, dump, nil
+}
+
+// WriteCounterexample saves a reproducer (and, when present, the
+// forensic dump of its replay) to dir under the given base name,
+// following the CHAOS_ARTIFACT_DIR convention the chaos harness uses
+// for its own failure reproducers: <base>.json is the ready-to-run
+// artifact for ReplayCounterexample / cmd/explore -replay, and
+// <base>-forensic.json renders with cmd/forensic.
+func WriteCounterexample(dir, base string, r explore.Reproducer, dump *forensic.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("chaostest: artifact dir: %w", err)
+	}
+	buf, err := r.JSON()
+	if err != nil {
+		return fmt.Errorf("chaostest: reproducer render: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".json"), buf, 0o644); err != nil {
+		return fmt.Errorf("chaostest: reproducer write: %w", err)
+	}
+	if dump == nil {
+		return nil
+	}
+	fbuf, err := dump.JSON()
+	if err != nil {
+		return fmt.Errorf("chaostest: forensic render: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+"-forensic.json"), fbuf, 0o644); err != nil {
+		return fmt.Errorf("chaostest: forensic write: %w", err)
+	}
+	return nil
+}

@@ -155,6 +155,14 @@ type Config struct {
 	// bytes are excluded from cost charging and byte metrics
 	// (wire.CostedLen), so tracing never perturbs virtual time.
 	Flight *forensic.Flight
+	// Sched selects the delivery scheduler. Nil (or Free()) keeps the
+	// free-running channel implementation — the zero-overhead path the
+	// benchmarks pin. Any controlled scheduler (NewRandom, NewReplay,
+	// or the explorer's enumerator) mediates every delivery through the
+	// coordinator in controlled.go instead: slower, but every genuine
+	// race becomes a recorded, replayable decision. Harnesses must then
+	// declare workers via WorkerStart/WorkerDone (internal/node does).
+	Sched Scheduler
 }
 
 // Network is one simulated multicomputer instance: the links, the host
@@ -191,6 +199,11 @@ type Network struct {
 	metrics Metrics
 	obsM    *obs.Metrics
 	flight  *forensic.Flight
+
+	// ctrl is non-nil iff the network runs under a controlled
+	// scheduler; every delivery then routes through it instead of the
+	// raw channels. The free path pays one nil test.
+	ctrl *controller
 }
 
 // poolBufCap sizes fresh pool buffers to hold an FT-exchange frame for
@@ -263,6 +276,9 @@ func New(cfg Config) (*Network, error) {
 	// promotes one into the cube proper.
 	for id := 0; id < n+spares; id++ {
 		net.hostOut[id] = make(chan packet, linkQueueDepth)
+	}
+	if cfg.Sched != nil && cfg.Sched.Controlled() {
+		net.ctrl = newController(net, cfg.Sched)
 	}
 	return net, nil
 }
@@ -436,6 +452,25 @@ func (e *Endpoint) Send(bit int, m wire.Message) error {
 	e.net.obsM.RecordMessage(m.Kind, costed)
 	arrival := e.clock + e.net.cost.Latency
 
+	if e.net.ctrl != nil {
+		// Controlled path: fault interceptors apply exactly as on the
+		// free fault path, then the deliveries queue at the coordinator
+		// instead of a channel. Buffers are never pooled — the recorded
+		// schedule may outlive the run.
+		deliveries := [][]byte{raw}
+		if e.net.faultCount.Load() != 0 {
+			for _, f := range e.net.linkFaults(e.id, partner) {
+				var next [][]byte
+				for _, d := range deliveries {
+					next = append(next, f.Apply(d)...)
+				}
+				deliveries = next
+			}
+		}
+		e.net.ctrl.send(e.id, QueueID{Kind: QLink, Node: partner, Bit: bit}, deliveries, arrival, m.Kind, m.Stage, m.Iter)
+		return nil
+	}
+
 	if e.net.faultCount.Load() == 0 {
 		// Lock-free fast path: no fault anywhere in the network, so
 		// skip the fault-table RLock and keep the buffer pooled.
@@ -486,6 +521,14 @@ func (e *Endpoint) Recv(bit int) (wire.Message, error) {
 		return wire.Message{}, fmt.Errorf("simnet: recv: bit %d outside dimension %d", bit, e.net.topo.Dim())
 	}
 	e.release()
+	if e.net.ctrl != nil {
+		res := e.net.ctrl.block(e.id, QueueID{Kind: QLink, Node: e.id, Bit: bit}, false, e.clock)
+		if !res.ok {
+			partner, _ := e.net.topo.Partner(e.id, bit)
+			return wire.Message{}, fmt.Errorf("simnet: node %d waiting on link from %d: %w", e.id, partner, ErrAbsent)
+		}
+		return e.acceptPacket(packet{raw: res.pkt.raw, arrival: res.pkt.arrival})
+	}
 	ch := e.net.links[e.id][bit]
 	// Fast path: a queued packet means no timer is needed at all.
 	select {
@@ -548,6 +591,10 @@ func (e *Endpoint) SendHost(m wire.Message) error {
 	e.commTicks += cost
 	e.net.metrics.record(m.Kind, costed)
 	e.net.obsM.RecordMessage(m.Kind, costed)
+	if e.net.ctrl != nil {
+		e.net.ctrl.send(e.id, QueueID{Kind: QHostIn, Node: hostWorker}, [][]byte{raw}, e.clock+e.net.cost.Latency, m.Kind, m.Stage, m.Iter)
+		return nil
+	}
 	// Host links bypass fault interceptors, so the buffer stays pooled.
 	select {
 	case e.net.hostIn <- packet{raw: raw, arrival: e.clock + e.net.cost.Latency, pooled: true}:
@@ -562,6 +609,13 @@ func (e *Endpoint) SendHost(m wire.Message) error {
 // returned Payload is valid only until the endpoint's next receive.
 func (e *Endpoint) RecvHost() (wire.Message, error) {
 	e.release()
+	if e.net.ctrl != nil {
+		res := e.net.ctrl.block(e.id, QueueID{Kind: QHostOut, Node: e.id}, false, e.clock)
+		if !res.ok {
+			return wire.Message{}, fmt.Errorf("simnet: node %d waiting on host: %w", e.id, ErrAbsent)
+		}
+		return e.acceptPacket(packet{raw: res.pkt.raw, arrival: res.pkt.arrival})
+	}
 	ch := e.net.hostOut[e.id]
 	select {
 	case pkt := <-ch:
@@ -666,6 +720,10 @@ func (h *Host) Send(node int, m wire.Message) error {
 	h.commTicks += cost
 	h.net.metrics.record(m.Kind, costed)
 	h.net.obsM.RecordMessage(m.Kind, costed)
+	if h.net.ctrl != nil {
+		h.net.ctrl.send(hostWorker, QueueID{Kind: QHostOut, Node: node}, [][]byte{raw}, h.clock+h.net.cost.Latency, m.Kind, m.Stage, m.Iter)
+		return nil
+	}
 	select {
 	case h.net.hostOut[node] <- packet{raw: raw, arrival: h.clock + h.net.cost.Latency, pooled: true}:
 		return nil
@@ -704,6 +762,13 @@ func (h *Host) acceptPacket(pkt packet) (wire.Message, error) {
 // Payload is valid only until the host's next receive.
 func (h *Host) Recv() (wire.Message, error) {
 	h.release()
+	if h.net.ctrl != nil {
+		res := h.net.ctrl.block(hostWorker, QueueID{Kind: QHostIn, Node: hostWorker}, false, h.clock)
+		if !res.ok {
+			return wire.Message{}, fmt.Errorf("simnet: host: %w", ErrAbsent)
+		}
+		return h.acceptPacket(packet{raw: res.pkt.raw, arrival: res.pkt.arrival})
+	}
 	select {
 	case pkt := <-h.net.hostIn:
 		return h.acceptPacket(pkt)
@@ -724,6 +789,17 @@ func (h *Host) Recv() (wire.Message, error) {
 // The host uses this to poll for ERROR signals between phases.
 func (h *Host) TryRecv() (m wire.Message, ok bool, err error) {
 	h.release()
+	if h.net.ctrl != nil {
+		res := h.net.ctrl.block(hostWorker, QueueID{Kind: QHostIn, Node: hostWorker}, true, h.clock)
+		if !res.ok {
+			return wire.Message{}, false, nil
+		}
+		msg, derr := h.acceptPacket(packet{raw: res.pkt.raw, arrival: res.pkt.arrival})
+		if derr != nil {
+			return wire.Message{}, false, derr
+		}
+		return msg, true, nil
+	}
 	select {
 	case pkt := <-h.net.hostIn:
 		msg, derr := h.acceptPacket(pkt)

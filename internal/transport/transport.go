@@ -174,3 +174,24 @@ type Network interface {
 	// Metrics snapshots the traffic counters.
 	Metrics() MetricsSnapshot
 }
+
+// WorkerControl is optionally implemented by networks whose message
+// delivery is mediated by a controlled scheduler (internal/simnet in
+// controlled mode). Such networks decide which enabled delivery fires
+// next only once every live worker has reached a blocking receive, so
+// they must know exactly which node and host goroutines exist.
+//
+// Harnesses that run node programs (internal/node) type-assert for
+// this interface and, when present, declare every worker before its
+// goroutine starts and retire it when the goroutine returns. The host
+// worker is declared with id wire.HostID. Free-running networks do not
+// implement the interface and pay nothing.
+type WorkerControl interface {
+	// WorkerStart declares that the worker with the given node label
+	// (wire.HostID for the host) is about to start executing. It must
+	// be called before the worker's goroutine is launched.
+	WorkerStart(id int)
+	// WorkerDone retires a started worker: it will issue no further
+	// transport operations.
+	WorkerDone(id int)
+}
