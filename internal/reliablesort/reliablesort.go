@@ -141,10 +141,13 @@ type Options struct {
 	// NewNetwork overrides the transport constructor used for each
 	// attempt; nil means internal/simnet. The returned network must
 	// honor the transport contract (including pre-registering
-	// cfg.Spares idle endpoints beyond the cube); if it additionally
-	// has a Close method, it is closed when the attempt finishes. The
-	// chaos harness injects internal/tcpnet here to drive the same
-	// recovery path over real sockets.
+	// cfg.Spares idle endpoints beyond the cube). When the attempt
+	// finishes, a network with a Release(clean bool) method is released
+	// with clean == (attempt verified) — the seam internal/server's
+	// transport pool uses to recycle healthy networks; otherwise a
+	// network with a Close method is closed. The chaos harness injects
+	// internal/tcpnet here to drive the same recovery path over real
+	// sockets.
 	NewNetwork func(cfg NetConfig) (transport.Network, error)
 }
 
@@ -248,7 +251,18 @@ func Sort(keys []int64, opts Options) ([]int64, Stats, error) {
 	}
 
 	if !opts.AutoRecover {
-		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout, Flight: opts.Flight}, newNet, nil, opts.Obs, opts.Parallelism, opts.Flight)
+		// Single-shot calls honor Inject too (attempt 0, identity
+		// physical mapping), so fail-stop-only deployments can still be
+		// chaos-tested through the same hook.
+		var nodeOpts []blocksort.Options
+		if opts.Inject != nil {
+			physical := make([]int, 1<<uint(dim))
+			for i := range physical {
+				physical[i] = i
+			}
+			nodeOpts = opts.Inject(0, dim, physical)
+		}
+		flat, at, _, err := runAttempt(base, NetConfig{Dim: dim, RecvTimeout: timeout, Flight: opts.Flight}, newNet, nodeOpts, opts.Obs, opts.Parallelism, opts.Flight)
 		stats.fromAttempt(at)
 		stats.Attempts = 1
 		if err != nil {
@@ -346,8 +360,7 @@ func spareLabels(dim, count int) []int {
 // dimension, and post-verifies the output against the Theorem 1
 // oracle. It returns the full padded ascending sequence; err is nil
 // exactly when that sequence is verified.
-func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer, parallelism int, flight *forensic.Flight) ([]int64, attemptStats, []core.HostError, error) {
-	var at attemptStats
+func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.Network, error), nodeOpts []blocksort.Options, o *obs.Observer, parallelism int, flight *forensic.Flight) (flatOut []int64, at attemptStats, hostErrs []core.HostError, err error) {
 	n := 1 << uint(cfg.Dim)
 	m := (len(base) + n - 1) / n
 	if m == 0 {
@@ -373,9 +386,16 @@ func runAttempt(base []int64, cfg NetConfig, newNet func(NetConfig) (transport.N
 	if err != nil {
 		return nil, at, nil, fmt.Errorf("reliablesort: %w", err)
 	}
-	// tcpnet (and other socket-backed transports) hold real resources
-	// per attempt; simnet has no Close and is left to the GC.
-	if c, ok := nw.(interface{ Close() }); ok {
+	// Lifecycle: a pooled transport (internal/server) implements
+	// Release and decides for itself whether to recycle or rebuild —
+	// clean is true exactly when the attempt verified, so a
+	// fault-stricken network (which may still have frames in flight) is
+	// never returned to the pool as healthy. Otherwise, tcpnet (and
+	// other socket-backed transports) hold real resources per attempt
+	// and are closed here; simnet has no Close and is left to the GC.
+	if rel, ok := nw.(interface{ Release(clean bool) }); ok {
+		defer func() { rel.Release(err == nil) }()
+	} else if c, ok := nw.(interface{ Close() }); ok {
 		defer c.Close()
 	}
 	if o != nil || parallelism > 0 || flight != nil {

@@ -1,0 +1,327 @@
+// Length-prefixed streaming wire protocol — the bulk lane next to the
+// HTTP/JSON front door. Keys travel as raw little-endian int64s
+// instead of JSON numbers, and one connection carries any number of
+// jobs back to back, so a load generator saturates the service
+// without spending its budget on text encoding.
+//
+// Request frame:
+//
+//	u32  magic "SRT1" (0x53525431)
+//	u32  header length
+//	...  header JSON: {"tenant","descending","dim","inject"}
+//	u64  key count
+//	...  count × s64 keys, little-endian
+//
+// Response frame:
+//
+//	u32  status (see Status* constants)
+//	u32  body length
+//	...  body JSON: Response (sans keys) on ok, ErrorBody otherwise
+//	u64  key count   — present only on StatusOK
+//	...  count × s64 sorted keys, little-endian
+//
+// Frames are processed strictly in order per connection; a client
+// wanting parallelism opens parallel connections (each worker of
+// cmd/sortload does). The connection closes on the first malformed
+// frame — after a framing error the byte stream cannot be trusted.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// StreamMagic begins every request frame ("SRT1").
+const StreamMagic = 0x53525431
+
+// Status codes of the response frame.
+const (
+	StatusOK         = 0
+	StatusInvalid    = 1
+	StatusOverloaded = 2
+	StatusFault      = 3
+	StatusClosed     = 4
+	StatusInternal   = 5
+)
+
+// maxStreamHeader bounds the JSON header of a request frame.
+const maxStreamHeader = 1 << 20
+
+// streamHeader is the JSON metadata of a request frame: a Request
+// without the bulk keys.
+type streamHeader struct {
+	Tenant     string     `json:"tenant,omitempty"`
+	Descending bool       `json:"descending,omitempty"`
+	Dim        int        `json:"dim,omitempty"`
+	Inject     *ChaosSpec `json:"inject,omitempty"`
+}
+
+// streamStatus maps a Submit error to a wire status.
+func streamStatus(err error) uint32 {
+	switch {
+	case errors.Is(err, ErrInvalid):
+		return StatusInvalid
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, ErrClosed):
+		return StatusClosed
+	case err != nil:
+		status, _ := classify(err)
+		if status == 422 {
+			return StatusFault
+		}
+		return StatusInternal
+	}
+	return StatusOK
+}
+
+// StreamServer accepts stream-protocol connections and feeds their
+// jobs through the same Submit path (admission, tenant queues,
+// workers) as the HTTP front end.
+type StreamServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// NewStreamServer wraps ln; call Serve to start accepting.
+func (s *Server) NewStreamServer(ln net.Listener) *StreamServer {
+	return &StreamServer{
+		srv:   s,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Addr returns the listener's address.
+func (ss *StreamServer) Addr() net.Addr { return ss.ln.Addr() }
+
+// Serve accepts connections until Close, handling each on its own
+// goroutine. It returns nil after Close.
+func (ss *StreamServer) Serve() error {
+	for {
+		conn, err := ss.ln.Accept()
+		if err != nil {
+			select {
+			case <-ss.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		ss.mu.Lock()
+		ss.conns[conn] = struct{}{}
+		ss.mu.Unlock()
+		ss.wg.Add(1)
+		go func() {
+			defer ss.wg.Done()
+			ss.handle(conn)
+			ss.mu.Lock()
+			delete(ss.conns, conn)
+			ss.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes open connections, and waits for
+// handlers to drain.
+func (ss *StreamServer) Close() {
+	select {
+	case <-ss.done:
+		return
+	default:
+		close(ss.done)
+	}
+	ss.ln.Close()
+	ss.mu.Lock()
+	for c := range ss.conns {
+		c.Close()
+	}
+	ss.mu.Unlock()
+	ss.wg.Wait()
+}
+
+// handle runs one connection's job sequence.
+func (ss *StreamServer) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := readRequestFrame(conn, ss.srv.cfg.MaxKeys)
+		if err != nil {
+			return // EOF between frames is the normal end; errors drop the conn
+		}
+		resp, serr := ss.srv.Submit(*req)
+		if werr := writeResponseFrame(conn, resp, serr); werr != nil {
+			return
+		}
+	}
+}
+
+// readRequestFrame parses one request frame. maxKeys bounds the key
+// allocation before it happens.
+func readRequestFrame(r io.Reader, maxKeys int) (*Request, error) {
+	var magic, hdrLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != StreamMagic {
+		return nil, fmt.Errorf("stream: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, err
+	}
+	if hdrLen > maxStreamHeader {
+		return nil, fmt.Errorf("stream: header %d bytes exceeds %d", hdrLen, maxStreamHeader)
+	}
+	hdrBuf := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdrBuf); err != nil {
+		return nil, err
+	}
+	var hdr streamHeader
+	if err := json.Unmarshal(hdrBuf, &hdr); err != nil {
+		return nil, fmt.Errorf("stream: header: %w", err)
+	}
+	var nkeys uint64
+	if err := binary.Read(r, binary.LittleEndian, &nkeys); err != nil {
+		return nil, err
+	}
+	if nkeys > uint64(maxKeys) {
+		return nil, fmt.Errorf("stream: %d keys exceeds limit %d", nkeys, maxKeys)
+	}
+	keys := make([]int64, nkeys)
+	if err := binary.Read(r, binary.LittleEndian, keys); err != nil {
+		return nil, err
+	}
+	return &Request{
+		Tenant:     hdr.Tenant,
+		Keys:       keys,
+		Descending: hdr.Descending,
+		Dim:        hdr.Dim,
+		Inject:     hdr.Inject,
+	}, nil
+}
+
+// writeResponseFrame emits one response frame for (resp, serr).
+func writeResponseFrame(w io.Writer, resp *Response, serr error) error {
+	status := streamStatus(serr)
+	var body []byte
+	var err error
+	if serr != nil {
+		_, eb := classify(serr)
+		body, err = json.Marshal(eb)
+	} else {
+		// The bulk keys ride binary after the JSON body.
+		trimmed := *resp
+		trimmed.Sorted = nil
+		body, err = json.Marshal(&trimmed)
+	}
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, status); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(body))); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return nil
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(resp.Sorted))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, resp.Sorted)
+}
+
+// StreamClient is the caller side of the wire protocol — one
+// connection, jobs in lockstep. cmd/sortload and the tests use it;
+// external callers can treat it as the protocol's reference
+// implementation.
+type StreamClient struct {
+	conn net.Conn
+}
+
+// DialStream connects a StreamClient to addr.
+func DialStream(addr string) (*StreamClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamClient{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *StreamClient) Close() error { return c.conn.Close() }
+
+// Do submits one job and waits for its frame. A non-OK status returns
+// (nil, body, nil); transport/framing problems return the third
+// error and the connection must be abandoned.
+func (c *StreamClient) Do(req Request) (*Response, *ErrorBody, error) {
+	hdr, err := json.Marshal(streamHeader{
+		Tenant: req.Tenant, Descending: req.Descending, Dim: req.Dim, Inject: req.Inject,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range []any{uint32(StreamMagic), uint32(len(hdr))} {
+		if err := binary.Write(c.conn, binary.LittleEndian, v); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := c.conn.Write(hdr); err != nil {
+		return nil, nil, err
+	}
+	if err := binary.Write(c.conn, binary.LittleEndian, uint64(len(req.Keys))); err != nil {
+		return nil, nil, err
+	}
+	if err := binary.Write(c.conn, binary.LittleEndian, req.Keys); err != nil {
+		return nil, nil, err
+	}
+
+	var status, bodyLen uint32
+	if err := binary.Read(c.conn, binary.LittleEndian, &status); err != nil {
+		return nil, nil, err
+	}
+	if err := binary.Read(c.conn, binary.LittleEndian, &bodyLen); err != nil {
+		return nil, nil, err
+	}
+	if bodyLen > maxStreamHeader {
+		return nil, nil, fmt.Errorf("stream: body %d bytes exceeds %d", bodyLen, maxStreamHeader)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(c.conn, body); err != nil {
+		return nil, nil, err
+	}
+	if status != StatusOK {
+		var eb ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			return nil, nil, fmt.Errorf("stream: error body: %w", err)
+		}
+		return nil, &eb, nil
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, nil, fmt.Errorf("stream: response body: %w", err)
+	}
+	var nkeys uint64
+	if err := binary.Read(c.conn, binary.LittleEndian, &nkeys); err != nil {
+		return nil, nil, err
+	}
+	resp.Sorted = make([]int64, nkeys)
+	if err := binary.Read(c.conn, binary.LittleEndian, resp.Sorted); err != nil {
+		return nil, nil, err
+	}
+	return &resp, nil, nil
+}

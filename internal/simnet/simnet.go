@@ -167,7 +167,9 @@ type Config struct {
 
 // Network is one simulated multicomputer instance: the links, the host
 // mailboxes, the metrics, and any installed link faults. Create one
-// per run with New; it is not reusable across runs.
+// with New. A free-running network is reusable across runs via Reset
+// (controlled-scheduler networks are single-run: their coordinator
+// state is not rewindable).
 type Network struct {
 	topo        hypercube.Topology
 	cost        CostModel
@@ -291,6 +293,57 @@ func (nw *Network) Spares() int { return nw.spares }
 // the cube with a host link but no cube links).
 func (nw *Network) isSpare(id int) bool {
 	return id >= nw.topo.Nodes() && id < nw.topo.Nodes()+nw.spares
+}
+
+// Reset readies a quiescent free-running network for another run: all
+// link and host mailboxes are drained (pooled buffers returned to the
+// free list), installed link faults are removed, the per-run traffic
+// counters are zeroed, and the observability sinks are rebound (nil
+// obsM selects obs.DefaultMetrics, mirroring New). Must only be called
+// between runs, when no endpoint or host goroutine is live. Controlled
+// networks refuse: their coordinator state is not rewindable.
+func (nw *Network) Reset(obsM *obs.Metrics, flight *forensic.Flight) error {
+	if nw.ctrl != nil {
+		return errors.New("simnet: controlled-scheduler networks are single-run")
+	}
+	for _, chans := range nw.links {
+		for _, ch := range chans {
+			nw.drainPackets(ch)
+		}
+	}
+	for _, ch := range nw.hostOut {
+		nw.drainPackets(ch)
+	}
+	nw.drainPackets(nw.hostIn)
+	nw.mu.Lock()
+	clear(nw.faults)
+	nw.mu.Unlock()
+	nw.faultCount.Store(0)
+	for k := range nw.metrics.msgs {
+		nw.metrics.msgs[k].Store(0)
+		nw.metrics.bytes[k].Store(0)
+	}
+	if obsM == nil {
+		obsM = obs.DefaultMetrics()
+	}
+	nw.obsM = obsM
+	nw.flight = flight
+	return nil
+}
+
+// drainPackets empties a mailbox without blocking, recycling pooled
+// buffers.
+func (nw *Network) drainPackets(ch chan packet) {
+	for {
+		select {
+		case pkt := <-ch:
+			if pkt.pooled {
+				nw.putBuf(pkt.raw)
+			}
+		default:
+			return
+		}
+	}
 }
 
 // Topology returns the underlying hypercube.

@@ -100,7 +100,12 @@ type packet struct {
 }
 
 // Network is one TCP-backed multicomputer instance. Create with New,
-// release with Close. Not reusable across runs.
+// release with Close. A completed run leaves the connections and
+// reader goroutines intact, so the mesh is reusable: call Reset
+// between runs to drain stale mailboxes, zero the per-run traffic
+// counters, and rebind the observability sinks. The transport pool in
+// internal/server leans on exactly this to amortize socket setup
+// across jobs.
 type Network struct {
 	topo        hypercube.Topology
 	cost        transport.CostModel
@@ -323,6 +328,57 @@ func (nw *Network) startReader(c net.Conn, inbox chan packet) {
 			}
 		}
 	}()
+}
+
+// Reset readies a quiescent network for another run: every inbox is
+// drained of stale frames, the per-run traffic counters are zeroed,
+// and the observability sinks are rebound (nil obsM selects
+// obs.DefaultMetrics, mirroring New). The TCP connections and their
+// reader goroutines are untouched — that is the point: a reused mesh
+// skips the whole socket-setup cost of New.
+//
+// Reset must only be called between runs (no endpoint or host is
+// live), and only after a run that terminated cleanly: a run that
+// fail-stopped may still have frames crossing sockets, which a drain
+// cannot bound. Callers that cannot prove quiescence should Close and
+// rebuild instead — internal/server's pool does exactly that for
+// fault-stricken networks.
+func (nw *Network) Reset(obsM *obs.Metrics, flight *forensic.Flight) error {
+	select {
+	case <-nw.closed:
+		return ErrClosed
+	default:
+	}
+	for _, inboxes := range nw.inboxes {
+		for _, inbox := range inboxes {
+			drainPackets(inbox)
+		}
+	}
+	for _, inbox := range nw.nodeHostInbox {
+		drainPackets(inbox)
+	}
+	drainPackets(nw.hostInbox)
+	for k := range nw.msgs {
+		nw.msgs[k].Store(0)
+		nw.bytes[k].Store(0)
+	}
+	if obsM == nil {
+		obsM = obs.DefaultMetrics()
+	}
+	nw.obsM = obsM
+	nw.flight = flight
+	return nil
+}
+
+// drainPackets empties an inbox without blocking.
+func drainPackets(ch chan packet) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
 }
 
 // Close shuts the network down: all connections are closed and reader
